@@ -1,0 +1,51 @@
+//! Criterion wrapper around the §IV ablation: PRO against its variants
+//! (barrier handling off, finishWait off, slow phase off) on the
+//! barrier-dense kernels where those mechanisms matter most. Prints each
+//! variant's simulated cycles once; `repro ablation` prints the table.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pro_bench::run_cell_with;
+use pro_core::SchedulerKind;
+use pro_sim::{GpuConfig, TraceOptions};
+use pro_workloads::{registry, Scale};
+
+fn bench_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(10);
+    let kernels = ["scalarProdGPU", "dynproc_kernel"];
+    let scale = Scale::Capped(64);
+    let cfg = GpuConfig::small(4);
+    for name in kernels {
+        let w = registry()
+            .into_iter()
+            .find(|w| w.kernel == name)
+            .expect("kernel");
+        for sched in [
+            SchedulerKind::Pro,
+            SchedulerKind::ProNoBarrier,
+            SchedulerKind::ProNoFinish,
+            SchedulerKind::ProNoSlowPhase,
+        ] {
+            let cell = run_cell_with(&w, sched, scale, cfg, TraceOptions::default());
+            eprintln!(
+                "[ablation] {name} {sched}: {} simulated cycles",
+                cell.result.cycles
+            );
+            group.bench_with_input(
+                BenchmarkId::new(name, sched.name()),
+                &sched,
+                |b, &sched| {
+                    b.iter(|| {
+                        run_cell_with(&w, sched, scale, cfg, TraceOptions::default())
+                            .result
+                            .cycles
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

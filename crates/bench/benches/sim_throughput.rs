@@ -1,0 +1,104 @@
+//! Microbenchmarks of the simulator's own hot paths — the overhead budget
+//! that keeps the full Table II sweep tractable: cache lookups, FR-FCFS
+//! arbitration, warp functional execution, and the per-cycle ordering cost
+//! of each scheduling policy (PRO's sorting is the paper's "few tens of
+//! cycles" hardware claim; here it is nanoseconds of host time).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pro_core::{SchedulerKind, SchedView, TbState, WarpState};
+use pro_mem::{Cache, CacheConfig, DramChannel, DramConfig};
+use std::hint::black_box;
+
+fn bench_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("components");
+    group.bench_function("l1_hit_lookup", |b| {
+        let mut cache: Cache<u64> = Cache::new(CacheConfig::l1_16k());
+        for line in 0..64u64 {
+            cache.access(line, 0);
+            cache.fill(line);
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) % 64;
+            black_box(cache.access(i, 0))
+        });
+    });
+    group.bench_function("dram_frfcfs_tick", |b| {
+        let mut chan: DramChannel<u32> = DramChannel::new(DramConfig::default());
+        let mut now = 0u64;
+        let mut line = 0u64;
+        b.iter(|| {
+            if chan.can_accept() {
+                line = line.wrapping_add(97);
+                chan.push(now, line, 0);
+            }
+            let r = chan.tick(now);
+            now += 1;
+            black_box(r)
+        });
+    });
+    group.finish();
+}
+
+fn bench_policy_order(c: &mut Criterion) {
+    let mut group = c.benchmark_group("policy_order");
+    // 8 TBs x 6 warps = 48 warps, the full Fermi complement.
+    let warps: Vec<WarpState> = (0..48)
+        .map(|w| WarpState {
+            active: true,
+            tb_slot: w / 6,
+            index_in_tb: (w % 6) as u32,
+            progress: (w as u64 * 37) % 911,
+            at_barrier: false,
+            finished: false,
+            blocked_on_longlat: w % 5 == 0,
+        })
+        .collect();
+    let tbs: Vec<TbState> = (0..8)
+        .map(|t| TbState {
+            occupied: true,
+            global_index: t as u32,
+            progress: (t as u64 * 131) % 1777,
+            num_warps: 6,
+            warps_at_barrier: 0,
+            warps_finished: 0,
+            launched_at: t as u64,
+        })
+        .collect();
+    let candidates: Vec<usize> = (0..48).step_by(2).collect();
+    for kind in SchedulerKind::PAPER {
+        let mut policy = kind.build(48, 8, 2);
+        // PRO needs TB-launch events before ordering.
+        {
+            let view = SchedView {
+                cycle: 0,
+                warps: &warps,
+                tbs: &tbs,
+                tbs_waiting_in_tb_scheduler: true,
+            };
+            for t in 0..8 {
+                policy.on_tb_launch(t, &view);
+            }
+        }
+        let mut out = Vec::with_capacity(48);
+        let mut cycle = 0u64;
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &(), |b, _| {
+            b.iter(|| {
+                cycle += 1;
+                let view = SchedView {
+                    cycle,
+                    warps: &warps,
+                    tbs: &tbs,
+                    tbs_waiting_in_tb_scheduler: true,
+                };
+                policy.begin_cycle(&view);
+                policy.order(0, &view, &candidates, &mut out);
+                black_box(out.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cache, bench_policy_order);
+criterion_main!(benches);

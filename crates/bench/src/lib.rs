@@ -1,0 +1,225 @@
+//! # pro-bench — experiment harness for every table and figure in the paper
+//!
+//! The `repro` binary regenerates each evaluation artifact:
+//!
+//! | command            | paper artifact |
+//! |--------------------|----------------|
+//! | `repro config`     | Table I (simulator configuration) |
+//! | `repro workloads`  | Table II (kernels and TB counts) |
+//! | `repro fig1`       | Fig. 1 — stall breakdown for TL / LRR / GTO |
+//! | `repro fig2`       | Fig. 2 — TB timeline, LRR vs PRO |
+//! | `repro fig4`       | Fig. 4 — PRO speedup per kernel + geomean |
+//! | `repro fig5`       | Fig. 5 — total-stall ratios per app + geomean |
+//! | `repro table3`     | Table III — per-app stall cycles and ratios |
+//! | `repro table4`     | Table IV — PRO's sorted TB order over time (AES) |
+//! | `repro ablation`   | §IV diagnostic — PRO vs PRO-NB/NF/NS/AD |
+//! | `repro all`        | everything above plus the extension experiments |
+//!
+//! Extension experiments beyond the paper's artifacts:
+//!
+//! | command            | experiment |
+//! |--------------------|------------|
+//! | `repro sweep`      | PRO THRESHOLD sensitivity (design-choice sweep) |
+//! | `repro wld`        | warp-level divergence (first/last warp finish gap) |
+//! | `repro cache`      | L1/L2 miss rates per scheduler |
+//! | `repro synthsweep` | PRO-vs-LRR across the synthetic workload space |
+//! | `repro dram`       | FR-FCFS vs FCFS DRAM scheduling (Table I ablation) |
+//! | `repro svg`        | SVG renderings of Fig. 2 and Fig. 4 |
+//! | `repro json`       | machine-readable dump of every (kernel × sched) run |
+//!
+//! Criterion benches (`cargo bench`) wrap the same runners for statistical
+//! timing of the simulator itself.
+
+pub mod json;
+pub mod svg;
+
+use pro_core::SchedulerKind;
+use pro_sim::{geomean, GpuConfig, RunResult, TraceOptions};
+use pro_workloads::{registry, run_workload, Scale, Workload};
+
+/// Results of one (workload, scheduler) cell.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    /// Workload kernel name.
+    pub kernel: &'static str,
+    /// Application name.
+    pub app: &'static str,
+    /// Scheduler.
+    pub sched: SchedulerKind,
+    /// Simulation outcome.
+    pub result: RunResult,
+}
+
+/// Run one workload under one scheduler on the paper's GTX480 config.
+pub fn run_cell(w: &Workload, sched: SchedulerKind, scale: Scale) -> Cell {
+    run_cell_with(w, sched, scale, GpuConfig::gtx480(), TraceOptions::default())
+}
+
+/// Run with explicit GPU config and traces.
+pub fn run_cell_with(
+    w: &Workload,
+    sched: SchedulerKind,
+    scale: Scale,
+    cfg: GpuConfig,
+    trace: TraceOptions,
+) -> Cell {
+    let (result, verdict) =
+        run_workload(cfg, w, sched, scale, trace).unwrap_or_else(|e| panic!("{}: {e}", w.kernel));
+    if let Err(e) = verdict {
+        panic!(
+            "{} under {sched}: functional verification failed: {e}",
+            w.kernel
+        );
+    }
+    Cell {
+        kernel: w.kernel,
+        app: w.app,
+        sched,
+        result,
+    }
+}
+
+/// Run every Table II kernel under `scheds`, returning cells in
+/// (kernel-major, scheduler-minor) order. Cells are independent
+/// simulations, so they run on a small thread pool.
+pub fn run_matrix(scheds: &[SchedulerKind], scale: Scale) -> Vec<Cell> {
+    let jobs: Vec<(Workload, SchedulerKind)> = registry()
+        .into_iter()
+        .flat_map(|w| scheds.iter().map(move |&s| (w, s)))
+        .collect();
+    parallel_map(&jobs, |(w, s)| run_cell(w, *s, scale))
+}
+
+/// Map `f` over `items` on up to `available_parallelism` threads,
+/// preserving order. Each item is an independent simulation; results are
+/// deterministic regardless of thread count.
+pub fn parallel_map<T: Sync, R: Send>(
+    items: &[T],
+    f: impl Fn(&T) -> R + Sync,
+) -> Vec<R> {
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(items.len().max(1));
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    let slots_mutex = std::sync::Mutex::new(&mut slots);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let r = f(&items[i]);
+                slots_mutex.lock().expect("poisoned")[i] = Some(r);
+            });
+        }
+    });
+    slots.into_iter().map(|r| r.expect("filled")).collect()
+}
+
+/// Per-application cycle and stall totals (kernels of an app summed), as
+/// the paper reports for Figs. 1/5 and Table III.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AppTotals {
+    /// Sum of kernel cycle counts.
+    pub cycles: u64,
+    /// Idle stall unit-cycles.
+    pub idle: u64,
+    /// Scoreboard stall unit-cycles.
+    pub scoreboard: u64,
+    /// Pipeline stall unit-cycles.
+    pub pipeline: u64,
+}
+
+impl AppTotals {
+    /// Total stalls.
+    pub fn total(&self) -> u64 {
+        self.idle + self.scoreboard + self.pipeline
+    }
+
+    /// Accumulate a kernel's results.
+    pub fn add(&mut self, r: &RunResult) {
+        self.cycles += r.cycles;
+        self.idle += r.sm.idle;
+        self.scoreboard += r.sm.scoreboard;
+        self.pipeline += r.sm.pipeline;
+    }
+}
+
+/// Run all kernels of each application under `sched`, summing stalls per
+/// app (paper: "numbers reported are per application, not per kernel").
+/// Kernels run in parallel; aggregation order is deterministic.
+pub fn run_apps(sched: SchedulerKind, scale: Scale) -> Vec<(&'static str, AppTotals)> {
+    let kernels = registry();
+    let cells = parallel_map(&kernels, |w| run_cell(w, sched, scale));
+    let mut out: Vec<(&'static str, AppTotals)> = Vec::new();
+    for c in &cells {
+        let slot = match out.iter_mut().find(|(a, _)| *a == c.app) {
+            Some((_, t)) => t,
+            None => {
+                out.push((c.app, AppTotals::default()));
+                &mut out.last_mut().expect("just pushed").1
+            }
+        };
+        slot.add(&c.result);
+    }
+    out
+}
+
+/// Speedup of `b` over `a` interpreted as cycles: `a.cycles / b.cycles`
+/// (>1 means `b` is faster).
+pub fn speedup(a: &RunResult, b: &RunResult) -> f64 {
+    a.cycles as f64 / b.cycles as f64
+}
+
+/// Ratio helper guarding zero denominators.
+pub fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        if num == 0 {
+            1.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// Geomean over an iterator of ratios, skipping non-finite values.
+pub fn geomean_finite(vals: impl IntoIterator<Item = f64>) -> f64 {
+    geomean(vals.into_iter().filter(|v| v.is_finite() && *v > 0.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_handles_zero() {
+        assert_eq!(ratio(0, 0), 1.0);
+        assert_eq!(ratio(5, 0), f64::INFINITY);
+        assert_eq!(ratio(6, 3), 2.0);
+    }
+
+    #[test]
+    fn geomean_finite_skips_infinities() {
+        let g = geomean_finite([2.0, f64::INFINITY, 2.0]);
+        assert!((g - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let out = parallel_map(&items, |&x| x * x);
+        let expect: Vec<u64> = items.iter().map(|&x| x * x).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn parallel_map_empty_input() {
+        let items: Vec<u64> = vec![];
+        assert!(parallel_map(&items, |&x| x).is_empty());
+    }
+}

@@ -1,0 +1,328 @@
+//! Minimal dependency-free SVG rendering for the paper's figures: a Gantt
+//! chart for Fig. 2 (per-TB execution spans) and a grouped bar chart for
+//! Fig. 4 (speedups). `repro svg` writes these next to the working
+//! directory so the reproduction produces actual figures, not just tables.
+
+use pro_sim::TbSpan;
+use std::fmt::Write as _;
+
+fn esc(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+/// Render Fig.-2-style Gantt: one horizontal bar per TB on one SM.
+pub fn gantt(title: &str, spans: &[TbSpan], total_cycles: u64) -> String {
+    let row_h = 14.0;
+    let left = 70.0;
+    let width = 720.0;
+    let chart_w = width - left - 20.0;
+    let height = 60.0 + spans.len() as f64 * row_h;
+    let total = total_cycles.max(1) as f64;
+    let mut s = String::new();
+    let _ = write!(
+        s,
+        r##"<svg xmlns="http://www.w3.org/2000/svg" width="{width}" height="{height}" viewBox="0 0 {width} {height}">"##
+    );
+    let _ = write!(
+        s,
+        r##"<rect width="100%" height="100%" fill="white"/><text x="{}" y="20" font-family="sans-serif" font-size="14" text-anchor="middle">{}</text>"##,
+        width / 2.0,
+        esc(title)
+    );
+    // X axis ticks every 20% of the runtime.
+    for k in 0..=5 {
+        let x = left + chart_w * k as f64 / 5.0;
+        let cyc = (total * k as f64 / 5.0) as u64;
+        let _ = write!(
+            s,
+            r##"<line x1="{x}" y1="35" x2="{x}" y2="{}" stroke="#ddd"/><text x="{x}" y="{}" font-family="sans-serif" font-size="9" text-anchor="middle">{cyc}</text>"##,
+            height - 20.0,
+            height - 8.0
+        );
+    }
+    let mut sorted: Vec<&TbSpan> = spans.iter().collect();
+    sorted.sort_by_key(|t| t.start);
+    for (row, t) in sorted.iter().enumerate() {
+        let y = 40.0 + row as f64 * row_h;
+        let x0 = left + chart_w * t.start as f64 / total;
+        let x1 = left + chart_w * t.end as f64 / total;
+        let _ = write!(
+            s,
+            r##"<text x="{}" y="{}" font-family="sans-serif" font-size="9" text-anchor="end">TB {}</text>"##,
+            left - 6.0,
+            y + row_h - 5.0,
+            t.global_index
+        );
+        let _ = write!(
+            s,
+            r##"<rect x="{x0}" y="{y}" width="{}" height="{}" fill="#4878a8" stroke="#1d3d5c" stroke-width="0.5"/>"##,
+            (x1 - x0).max(1.0),
+            row_h - 3.0
+        );
+    }
+    s.push_str("</svg>");
+    s
+}
+
+/// One group of bars in [`barchart`].
+#[derive(Debug, Clone)]
+pub struct BarGroup {
+    /// X-axis label.
+    pub label: String,
+    /// One value per series (same length/order as the series names).
+    pub values: Vec<f64>,
+}
+
+/// Render Fig.-4-style grouped bars (e.g. speedups vs TL/LRR/GTO per
+/// kernel) with a reference line at 1.0.
+pub fn barchart(title: &str, series: &[&str], groups: &[BarGroup]) -> String {
+    const COLORS: [&str; 4] = ["#4878a8", "#b8503c", "#5a9152", "#8a6fb0"];
+    let width = 60.0 + groups.len() as f64 * (series.len() as f64 * 12.0 + 14.0);
+    let height = 320.0;
+    let left = 45.0;
+    let bottom = height - 90.0;
+    let top = 40.0;
+    let vmax = groups
+        .iter()
+        .flat_map(|g| g.values.iter().copied())
+        .fold(1.0f64, f64::max)
+        * 1.1;
+    let y_of = |v: f64| bottom - (bottom - top) * v / vmax;
+    let mut s = String::new();
+    let _ = write!(
+        s,
+        r##"<svg xmlns="http://www.w3.org/2000/svg" width="{width}" height="{height}" viewBox="0 0 {width} {height}">"##
+    );
+    let _ = write!(
+        s,
+        r##"<rect width="100%" height="100%" fill="white"/><text x="{}" y="20" font-family="sans-serif" font-size="14" text-anchor="middle">{}</text>"##,
+        width / 2.0,
+        esc(title)
+    );
+    // Y ticks.
+    let mut v = 0.0;
+    while v <= vmax {
+        let y = y_of(v);
+        let _ = write!(
+            s,
+            r##"<line x1="{left}" y1="{y}" x2="{}" y2="{y}" stroke="#eee"/><text x="{}" y="{}" font-family="sans-serif" font-size="9" text-anchor="end">{v:.1}</text>"##,
+            width - 10.0,
+            left - 4.0,
+            y + 3.0
+        );
+        v += 0.25;
+    }
+    // Reference line at 1.0.
+    let y1 = y_of(1.0);
+    let _ = write!(
+        s,
+        r##"<line x1="{left}" y1="{y1}" x2="{}" y2="{y1}" stroke="#888" stroke-dasharray="4 3"/>"##,
+        width - 10.0
+    );
+    // Bars.
+    let mut x = left + 8.0;
+    for g in groups {
+        for (i, &v) in g.values.iter().enumerate() {
+            let y = y_of(v);
+            let _ = write!(
+                s,
+                r##"<rect x="{x}" y="{y}" width="10" height="{}" fill="{}"/>"##,
+                (bottom - y).max(0.5),
+                COLORS[i % COLORS.len()]
+            );
+            x += 12.0;
+        }
+        let _ = write!(
+            s,
+            r##"<text x="{}" y="{}" font-family="sans-serif" font-size="8" text-anchor="end" transform="rotate(-55 {} {})">{}</text>"##,
+            x - series.len() as f64 * 6.0,
+            bottom + 10.0,
+            x - series.len() as f64 * 6.0,
+            bottom + 10.0,
+            esc(&g.label)
+        );
+        x += 14.0;
+    }
+    // Legend.
+    let mut lx = left;
+    for (i, name) in series.iter().enumerate() {
+        let _ = write!(
+            s,
+            r##"<rect x="{lx}" y="{}" width="10" height="10" fill="{}"/><text x="{}" y="{}" font-family="sans-serif" font-size="10">{}</text>"##,
+            height - 16.0,
+            COLORS[i % COLORS.len()],
+            lx + 14.0,
+            height - 7.0,
+            esc(name)
+        );
+        lx += 14.0 + 10.0 * name.len() as f64;
+    }
+    s.push_str("</svg>");
+    s
+}
+
+/// One stacked column: segment values bottom-to-top (e.g. pipeline /
+/// idle / scoreboard shares).
+#[derive(Debug, Clone)]
+pub struct StackedBar {
+    /// X-axis label.
+    pub label: String,
+    /// Segment values; normalized to 100% per bar on render.
+    pub segments: Vec<f64>,
+}
+
+/// Render Fig.-1-style 100%-stacked bars (stall-type shares per app).
+pub fn stacked_bars(title: &str, series: &[&str], bars: &[StackedBar]) -> String {
+    const COLORS: [&str; 4] = ["#4878a8", "#d9a441", "#b8503c", "#5a9152"];
+    let bar_w = 26.0;
+    let gap = 18.0;
+    let width = 70.0 + bars.len() as f64 * (bar_w + gap);
+    let height = 300.0;
+    let top = 35.0;
+    let bottom = height - 80.0;
+    let mut s = String::new();
+    let _ = write!(
+        s,
+        r##"<svg xmlns="http://www.w3.org/2000/svg" width="{width}" height="{height}" viewBox="0 0 {width} {height}">"##
+    );
+    let _ = write!(
+        s,
+        r##"<rect width="100%" height="100%" fill="white"/><text x="{}" y="18" font-family="sans-serif" font-size="13" text-anchor="middle">{}</text>"##,
+        width / 2.0,
+        esc(title)
+    );
+    for k in 0..=4 {
+        let y = bottom - (bottom - top) * k as f64 / 4.0;
+        let _ = write!(
+            s,
+            r##"<line x1="45" y1="{y}" x2="{}" y2="{y}" stroke="#eee"/><text x="41" y="{}" font-family="sans-serif" font-size="9" text-anchor="end">{}%</text>"##,
+            width - 10.0,
+            y + 3.0,
+            k * 25
+        );
+    }
+    let mut x = 55.0;
+    for b in bars {
+        let total: f64 = b.segments.iter().sum::<f64>().max(1e-12);
+        let mut y = bottom;
+        for (i, &v) in b.segments.iter().enumerate() {
+            let h = (bottom - top) * v / total;
+            y -= h;
+            let _ = write!(
+                s,
+                r##"<rect x="{x}" y="{y}" width="{bar_w}" height="{}" fill="{}"/>"##,
+                h.max(0.0),
+                COLORS[i % COLORS.len()]
+            );
+        }
+        let _ = write!(
+            s,
+            r##"<text x="{}" y="{}" font-family="sans-serif" font-size="8" text-anchor="end" transform="rotate(-55 {} {})">{}</text>"##,
+            x + bar_w / 2.0,
+            bottom + 10.0,
+            x + bar_w / 2.0,
+            bottom + 10.0,
+            esc(&b.label)
+        );
+        x += bar_w + gap;
+    }
+    let mut lx = 55.0;
+    for (i, name) in series.iter().enumerate() {
+        let _ = write!(
+            s,
+            r##"<rect x="{lx}" y="{}" width="10" height="10" fill="{}"/><text x="{}" y="{}" font-family="sans-serif" font-size="10">{}</text>"##,
+            height - 16.0,
+            COLORS[i % COLORS.len()],
+            lx + 14.0,
+            height - 7.0,
+            esc(name)
+        );
+        lx += 18.0 + 9.0 * name.len() as f64;
+    }
+    s.push_str("</svg>");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spans() -> Vec<TbSpan> {
+        vec![
+            TbSpan {
+                sm: 0,
+                global_index: 0,
+                start: 0,
+                end: 100,
+            },
+            TbSpan {
+                sm: 0,
+                global_index: 1,
+                start: 50,
+                end: 180,
+            },
+        ]
+    }
+
+    #[test]
+    fn gantt_is_wellformed_svg() {
+        let svg = gantt("LRR timeline", &spans(), 200);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        assert_eq!(svg.matches("<rect").count(), 3, "background + 2 bars");
+        assert!(svg.contains("TB 0"));
+        assert!(svg.contains("TB 1"));
+    }
+
+    #[test]
+    fn barchart_is_wellformed_svg() {
+        let groups = vec![
+            BarGroup {
+                label: "k1".into(),
+                values: vec![1.1, 0.9, 1.3],
+            },
+            BarGroup {
+                label: "k2".into(),
+                values: vec![1.0, 1.2, 0.8],
+            },
+        ];
+        let svg = barchart("Fig 4", &["TL", "LRR", "GTO"], &groups);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        assert!(svg.matches("<rect").count() >= 7, "bg + 6 bars + legend");
+        assert!(svg.contains("stroke-dasharray"), "1.0 reference line");
+        assert!(svg.contains("LRR"));
+    }
+
+    #[test]
+    fn labels_are_escaped() {
+        let groups = vec![BarGroup {
+            label: "a<b&c".into(),
+            values: vec![1.0],
+        }];
+        let svg = barchart("t", &["s"], &groups);
+        assert!(svg.contains("a&lt;b&amp;c"));
+        assert!(!svg.contains("a<b"));
+    }
+
+    #[test]
+    fn stacked_bars_normalize_to_full_height() {
+        let bars = vec![StackedBar {
+            label: "app".into(),
+            segments: vec![25.0, 25.0, 50.0],
+        }];
+        let svg = stacked_bars("Fig 1", &["pipe", "idle", "sb"], &bars);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        // bg + 3 segments + 3 legend swatches
+        assert!(svg.matches("<rect").count() >= 7);
+        assert!(svg.contains("100%"));
+    }
+
+    #[test]
+    fn empty_gantt_renders() {
+        let svg = gantt("empty", &[], 1);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+    }
+}

@@ -1,0 +1,296 @@
+//! PRO-AD — the adaptive variant the paper sketches as future work (§IV):
+//! *"we would like to dynamically enable or disable special handling of
+//! barrier statements, long latency statements, etc., by profiling each
+//! application."*
+//!
+//! Implementation: **epoch dueling**. Two complete PRO instances run in
+//! lockstep — one with barrier special-handling enabled, one without; both
+//! receive every event so their internal TB state machines stay coherent
+//! with the hardware. During a short probe window the scheduler alternates
+//! which instance drives issue, measuring issue throughput (instructions
+//! per unit-cycle) per epoch; afterwards it locks in the faster mode for
+//! the rest of the kernel. On barrier-free kernels both modes are
+//! identical, so the probe is harmless; on barrier-pathological kernels
+//! (the paper's scalarProd case) it recovers the PRO-NB win automatically.
+
+use crate::pro::{Pro, ProConfig};
+use crate::{IssueInfo, SchedView, TbSlot, WarpScheduler, WarpSlot};
+
+/// Probe/decision parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct AdaptiveConfig {
+    /// Cycles per probe epoch.
+    pub epoch_cycles: u64,
+    /// Probe epochs per mode (total probe = `2 * probes_per_mode`).
+    pub probes_per_mode: u32,
+    /// Underlying PRO tunables (barrier handling is overridden per mode).
+    pub base: ProConfig,
+}
+
+impl Default for AdaptiveConfig {
+    fn default() -> Self {
+        AdaptiveConfig {
+            epoch_cycles: 2000,
+            probes_per_mode: 2,
+            base: ProConfig::default(),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// Probing: alternating epochs.
+    Probe,
+    /// Locked on barrier handling enabled.
+    LockedOn,
+    /// Locked off.
+    LockedOff,
+}
+
+/// The adaptive policy.
+#[derive(Debug)]
+pub struct ProAdaptive {
+    with_barriers: Pro,
+    without_barriers: Pro,
+    cfg: AdaptiveConfig,
+    mode: Mode,
+    epoch_start: u64,
+    epoch_index: u32,
+    issued_this_epoch: u64,
+    cycles_this_epoch: u64,
+    // accumulated (issued, cycles) per mode during probing
+    on_score: (u64, u64),
+    off_score: (u64, u64),
+    started: bool,
+}
+
+impl ProAdaptive {
+    /// Build for an SM with `max_warps`/`max_tbs` slots.
+    pub fn new(max_warps: usize, max_tbs: usize, cfg: AdaptiveConfig) -> Self {
+        let on = ProConfig {
+            handle_barriers: true,
+            ..cfg.base
+        };
+        let off = ProConfig {
+            handle_barriers: false,
+            ..cfg.base
+        };
+        ProAdaptive {
+            with_barriers: Pro::new(max_warps, max_tbs, on),
+            without_barriers: Pro::new(max_warps, max_tbs, off),
+            cfg,
+            mode: Mode::Probe,
+            epoch_start: 0,
+            epoch_index: 0,
+            issued_this_epoch: 0,
+            cycles_this_epoch: 0,
+            on_score: (0, 0),
+            off_score: (0, 0),
+            started: false,
+        }
+    }
+
+    /// Which instance currently drives issue ordering?
+    fn active_is_on(&self) -> bool {
+        match self.mode {
+            Mode::LockedOn => true,
+            Mode::LockedOff => false,
+            // Alternate per epoch: even epochs ON, odd epochs OFF.
+            Mode::Probe => self.epoch_index.is_multiple_of(2),
+        }
+    }
+
+    /// Locked decision (None while probing) — test observability.
+    pub fn decision(&self) -> Option<bool> {
+        match self.mode {
+            Mode::Probe => None,
+            Mode::LockedOn => Some(true),
+            Mode::LockedOff => Some(false),
+        }
+    }
+
+    fn roll_epoch(&mut self, now: u64) {
+        if self.mode != Mode::Probe {
+            return;
+        }
+        if !self.started {
+            self.started = true;
+            self.epoch_start = now;
+            return;
+        }
+        if now - self.epoch_start < self.cfg.epoch_cycles {
+            return;
+        }
+        // Close the epoch.
+        let score = (self.issued_this_epoch, self.cycles_this_epoch.max(1));
+        if self.epoch_index.is_multiple_of(2) {
+            self.on_score.0 += score.0;
+            self.on_score.1 += score.1;
+        } else {
+            self.off_score.0 += score.0;
+            self.off_score.1 += score.1;
+        }
+        self.issued_this_epoch = 0;
+        self.cycles_this_epoch = 0;
+        self.epoch_start = now;
+        self.epoch_index += 1;
+        if self.epoch_index >= 2 * self.cfg.probes_per_mode {
+            // Decide: higher issue throughput wins; tie → keep handling on
+            // (the paper's default behaviour).
+            let on_ipc = self.on_score.0 as f64 / self.on_score.1.max(1) as f64;
+            let off_ipc = self.off_score.0 as f64 / self.off_score.1.max(1) as f64;
+            self.mode = if off_ipc > on_ipc {
+                Mode::LockedOff
+            } else {
+                Mode::LockedOn
+            };
+        }
+    }
+}
+
+impl WarpScheduler for ProAdaptive {
+    fn name(&self) -> &'static str {
+        "PRO-AD"
+    }
+
+    fn begin_cycle(&mut self, view: &SchedView) {
+        self.roll_epoch(view.cycle);
+        self.cycles_this_epoch += 1;
+        self.with_barriers.begin_cycle(view);
+        self.without_barriers.begin_cycle(view);
+    }
+
+    fn order(
+        &mut self,
+        unit: u32,
+        view: &SchedView,
+        candidates: &[WarpSlot],
+        out: &mut Vec<WarpSlot>,
+    ) {
+        if self.active_is_on() {
+            self.with_barriers.order(unit, view, candidates, out);
+        } else {
+            self.without_barriers.order(unit, view, candidates, out);
+        }
+    }
+
+    fn on_issue(&mut self, unit: u32, slot: WarpSlot, info: IssueInfo, view: &SchedView) {
+        self.issued_this_epoch += 1;
+        self.with_barriers.on_issue(unit, slot, info, view);
+        self.without_barriers.on_issue(unit, slot, info, view);
+    }
+
+    fn on_barrier_arrive(&mut self, slot: WarpSlot, tb: TbSlot, view: &SchedView) {
+        self.with_barriers.on_barrier_arrive(slot, tb, view);
+        self.without_barriers.on_barrier_arrive(slot, tb, view);
+    }
+
+    fn on_barrier_release(&mut self, tb: TbSlot, view: &SchedView) {
+        self.with_barriers.on_barrier_release(tb, view);
+        self.without_barriers.on_barrier_release(tb, view);
+    }
+
+    fn on_warp_finish(&mut self, slot: WarpSlot, tb: TbSlot, view: &SchedView) {
+        self.with_barriers.on_warp_finish(slot, tb, view);
+        self.without_barriers.on_warp_finish(slot, tb, view);
+    }
+
+    fn on_tb_launch(&mut self, tb: TbSlot, view: &SchedView) {
+        self.with_barriers.on_tb_launch(tb, view);
+        self.without_barriers.on_tb_launch(tb, view);
+    }
+
+    fn on_tb_finish(&mut self, tb: TbSlot, view: &SchedView) {
+        self.with_barriers.on_tb_finish(tb, view);
+        self.without_barriers.on_tb_finish(tb, view);
+    }
+
+    fn tb_priority_trace(&self, view: &SchedView) -> Option<Vec<u32>> {
+        if self.active_is_on() {
+            self.with_barriers.tb_priority_trace(view)
+        } else {
+            self.without_barriers.tb_priority_trace(view)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::ViewFixture;
+
+    #[test]
+    fn probing_alternates_then_locks() {
+        let mut f = ViewFixture::grid(2, 2);
+        let mut p = ProAdaptive::new(4, 2, AdaptiveConfig::default());
+        for t in 0..2 {
+            p.on_tb_launch(t, &f.view());
+        }
+        assert_eq!(p.decision(), None);
+        assert!(p.active_is_on(), "epoch 0 probes with handling ON");
+        // Make the OFF epochs strictly better: issue events only when OFF.
+        let epochs = 2 * AdaptiveConfig::default().probes_per_mode as u64 + 1;
+        for c in 0..epochs * 2001 {
+            f.cycle = c;
+            p.begin_cycle(&f.view());
+            if !p.active_is_on() && p.decision().is_none() {
+                p.on_issue(
+                    0,
+                    0,
+                    IssueInfo {
+                        active_threads: 32,
+                        is_global_load: false,
+                    },
+                    &f.view(),
+                );
+            }
+        }
+        assert_eq!(p.decision(), Some(false), "OFF mode had higher throughput");
+    }
+
+    #[test]
+    fn ties_keep_barrier_handling_enabled() {
+        let mut f = ViewFixture::grid(1, 2);
+        let mut p = ProAdaptive::new(2, 1, AdaptiveConfig::default());
+        p.on_tb_launch(0, &f.view());
+        // No issues at all → both modes score zero → tie → ON.
+        for c in 0..5 * 2001 {
+            f.cycle = c;
+            p.begin_cycle(&f.view());
+        }
+        assert_eq!(p.decision(), Some(true));
+    }
+
+    #[test]
+    fn order_is_a_permutation_in_both_modes() {
+        let mut f = ViewFixture::grid(2, 3);
+        let mut p = ProAdaptive::new(6, 2, AdaptiveConfig::default());
+        for t in 0..2 {
+            p.on_tb_launch(t, &f.view());
+        }
+        let mut out = Vec::new();
+        for c in [0u64, 2500] {
+            f.cycle = c;
+            p.begin_cycle(&f.view());
+            p.order(0, &f.view(), &f.all_slots(), &mut out);
+            let mut sorted = out.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, f.all_slots());
+        }
+    }
+
+    #[test]
+    fn both_instances_track_barrier_state() {
+        let mut f = ViewFixture::grid(2, 2);
+        let mut p = ProAdaptive::new(4, 2, AdaptiveConfig::default());
+        for t in 0..2 {
+            p.on_tb_launch(t, &f.view());
+        }
+        f.tbs[0].warps_at_barrier = 1;
+        p.on_barrier_arrive(0, 0, &f.view());
+        // The ON instance promotes TB0; the OFF instance does not. The
+        // trace under mode ON should lead with TB0.
+        let trace = p.tb_priority_trace(&f.view()).unwrap();
+        assert_eq!(trace[0], 0);
+    }
+}

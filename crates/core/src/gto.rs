@@ -1,0 +1,148 @@
+//! Greedy Then Oldest (GTO) — the strongest baseline in the paper's
+//! evaluation (PRO gains 1.02x geomean over it).
+//!
+//! The unit keeps issuing the *same* warp for as long as it can issue
+//! ("greedy"); when it cannot, the remaining warps are prioritized oldest
+//! first, where a warp's age is the launch cycle of its thread block
+//! (earlier-launched TB = older), with the warp slot index breaking ties.
+//! Greediness plus age creates the unequal progress that hides long
+//! latencies — but, as §IV notes, GTO has no notion of barriers or of TB
+//! residency, which is where PRO wins.
+
+use crate::{IssueInfo, SchedView, WarpScheduler, WarpSlot};
+
+/// Greedy-then-oldest policy.
+#[derive(Debug)]
+pub struct Gto {
+    /// Per-unit: the warp currently held greedily.
+    greedy: Vec<Option<WarpSlot>>,
+}
+
+impl Gto {
+    /// `units` = scheduler units per SM.
+    pub fn new(units: u32) -> Self {
+        Gto {
+            greedy: vec![None; units as usize],
+        }
+    }
+}
+
+impl WarpScheduler for Gto {
+    fn name(&self) -> &'static str {
+        "GTO"
+    }
+
+    fn order(
+        &mut self,
+        unit: u32,
+        view: &SchedView,
+        candidates: &[WarpSlot],
+        out: &mut Vec<WarpSlot>,
+    ) {
+        out.clear();
+        out.extend_from_slice(candidates);
+        // Oldest first: (TB launch cycle, slot index).
+        out.sort_by_key(|&w| {
+            let tb = view.warps[w].tb_slot;
+            (view.tbs[tb].launched_at, w)
+        });
+        // The greedy warp, if still a candidate, jumps to the front.
+        if let Some(g) = self.greedy[unit as usize] {
+            if let Some(pos) = out.iter().position(|&w| w == g) {
+                out[..=pos].rotate_right(1);
+            }
+        }
+    }
+
+    fn on_issue(&mut self, unit: u32, slot: WarpSlot, _info: IssueInfo, _view: &SchedView) {
+        self.greedy[unit as usize] = Some(slot);
+    }
+
+    fn on_warp_finish(&mut self, slot: WarpSlot, _tb: usize, _view: &SchedView) {
+        for g in &mut self.greedy {
+            if *g == Some(slot) {
+                *g = None;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::ViewFixture;
+
+    fn info() -> IssueInfo {
+        IssueInfo {
+            active_threads: 32,
+            is_global_load: false,
+        }
+    }
+
+    #[test]
+    fn default_order_is_oldest_first() {
+        let mut f = ViewFixture::grid(2, 2);
+        f.tbs[0].launched_at = 100;
+        f.tbs[1].launched_at = 50; // TB 1 older
+        let mut s = Gto::new(1);
+        let mut out = Vec::new();
+        s.order(0, &f.view(), &f.all_slots(), &mut out);
+        // TB1's warps (slots 2,3) first, then TB0's (0,1).
+        assert_eq!(out, vec![2, 3, 0, 1]);
+    }
+
+    #[test]
+    fn issued_warp_becomes_greedy_head() {
+        let f = ViewFixture::grid(2, 2);
+        let mut s = Gto::new(1);
+        let mut out = Vec::new();
+        s.on_issue(0, 3, info(), &f.view());
+        s.order(0, &f.view(), &f.all_slots(), &mut out);
+        assert_eq!(out[0], 3);
+        // Rest still oldest-first.
+        assert_eq!(&out[1..], &[0, 1, 2]);
+    }
+
+    #[test]
+    fn greedy_resets_when_warp_finishes() {
+        let f = ViewFixture::grid(2, 2);
+        let mut s = Gto::new(1);
+        let mut out = Vec::new();
+        s.on_issue(0, 3, info(), &f.view());
+        s.on_warp_finish(3, 1, &f.view());
+        s.order(0, &f.view(), &[0, 1, 2], &mut out);
+        assert_eq!(out, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn greedy_warp_not_in_candidates_is_ignored() {
+        let f = ViewFixture::grid(2, 2);
+        let mut s = Gto::new(1);
+        let mut out = Vec::new();
+        s.on_issue(0, 3, info(), &f.view());
+        s.order(0, &f.view(), &[0, 2], &mut out);
+        assert_eq!(out, vec![0, 2]);
+    }
+
+    #[test]
+    fn tie_broken_by_slot_index() {
+        let f = ViewFixture::grid(2, 2); // both TBs launched_at = 0
+        let mut s = Gto::new(1);
+        let mut out = Vec::new();
+        s.order(0, &f.view(), &[2, 0, 3, 1], &mut out);
+        assert_eq!(out, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn units_hold_independent_greedy_warps() {
+        let f = ViewFixture::grid(2, 2);
+        let mut s = Gto::new(2);
+        let mut out = Vec::new();
+        s.on_issue(0, 2, info(), &f.view());
+        s.on_issue(1, 1, info(), &f.view());
+        s.order(0, &f.view(), &[0, 2], &mut out);
+        assert_eq!(out, vec![2, 0]);
+        s.order(1, &f.view(), &[1, 3], &mut out);
+        assert_eq!(out, vec![1, 3]);
+    }
+}

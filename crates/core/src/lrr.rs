@@ -1,0 +1,129 @@
+//! Loose Round Robin (LRR) — the GPU's default scheduler and the paper's
+//! primary baseline.
+//!
+//! Every warp has equal priority: each scheduler unit remembers the last
+//! warp it issued and starts the next cycle's search from the following
+//! slot, wrapping around. "Loose" because a warp that cannot issue is simply
+//! skipped rather than stalling the unit. The paper's §II.A observation —
+//! all warps make near-equal progress and hit long-latency instructions
+//! together — is a direct consequence of this rotation.
+
+use crate::{IssueInfo, SchedView, WarpScheduler, WarpSlot};
+
+/// Loose round-robin policy.
+#[derive(Debug)]
+pub struct Lrr {
+    max_warps: usize,
+    /// Per-unit: slot after which the rotation starts.
+    last_issued: Vec<usize>,
+}
+
+impl Lrr {
+    /// `max_warps` = warp slots per SM, `units` = scheduler units per SM.
+    pub fn new(max_warps: usize, units: u32) -> Self {
+        Lrr {
+            max_warps,
+            last_issued: vec![max_warps.saturating_sub(1); units as usize],
+        }
+    }
+}
+
+impl WarpScheduler for Lrr {
+    fn name(&self) -> &'static str {
+        "LRR"
+    }
+
+    fn order(
+        &mut self,
+        unit: u32,
+        _view: &SchedView,
+        candidates: &[WarpSlot],
+        out: &mut Vec<WarpSlot>,
+    ) {
+        out.clear();
+        out.extend_from_slice(candidates);
+        let start = (self.last_issued[unit as usize] + 1) % self.max_warps.max(1);
+        // Rotate so the first candidate ≥ start comes first (round robin
+        // over the fixed slot numbering, skipping empty slots).
+        out.sort_by_key(|&w| {
+            
+            (w + self.max_warps - start) % self.max_warps
+        });
+    }
+
+    fn on_issue(&mut self, unit: u32, slot: WarpSlot, _info: IssueInfo, _view: &SchedView) {
+        self.last_issued[unit as usize] = slot;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::ViewFixture;
+    use crate::IssueInfo;
+
+    fn info() -> IssueInfo {
+        IssueInfo {
+            active_threads: 32,
+            is_global_load: false,
+        }
+    }
+
+    #[test]
+    fn initial_order_starts_at_slot_zero() {
+        let f = ViewFixture::grid(2, 3);
+        let mut s = Lrr::new(6, 1);
+        let mut out = Vec::new();
+        s.order(0, &f.view(), &f.all_slots(), &mut out);
+        assert_eq!(out, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn rotation_advances_past_issued_warp() {
+        let f = ViewFixture::grid(2, 3);
+        let mut s = Lrr::new(6, 1);
+        let mut out = Vec::new();
+        s.on_issue(0, 2, info(), &f.view());
+        s.order(0, &f.view(), &f.all_slots(), &mut out);
+        assert_eq!(out, vec![3, 4, 5, 0, 1, 2]);
+    }
+
+    #[test]
+    fn wraps_around_at_last_slot() {
+        let f = ViewFixture::grid(2, 3);
+        let mut s = Lrr::new(6, 1);
+        let mut out = Vec::new();
+        s.on_issue(0, 5, info(), &f.view());
+        s.order(0, &f.view(), &f.all_slots(), &mut out);
+        assert_eq!(out, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn units_rotate_independently() {
+        let f = ViewFixture::grid(2, 4);
+        let mut s = Lrr::new(8, 2);
+        let mut out = Vec::new();
+        // Unit 0 owns even slots, unit 1 odd slots.
+        let even: Vec<_> = (0..8).step_by(2).collect();
+        let odd: Vec<_> = (1..8).step_by(2).collect();
+        s.on_issue(0, 4, info(), &f.view());
+        s.order(0, &f.view(), &even, &mut out);
+        assert_eq!(out, vec![6, 0, 2, 4]);
+        s.order(1, &f.view(), &odd, &mut out);
+        assert_eq!(out, vec![1, 3, 5, 7], "unit 1 unaffected by unit 0 issue");
+    }
+
+    #[test]
+    fn order_is_a_permutation_of_candidates() {
+        let f = ViewFixture::grid(3, 2);
+        let mut s = Lrr::new(6, 1);
+        let mut out = Vec::new();
+        let cands = vec![1, 3, 5];
+        s.on_issue(0, 3, info(), &f.view());
+        s.order(0, &f.view(), &cands, &mut out);
+        let mut sorted = out.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, cands);
+        assert_eq!(out[0], 5, "first candidate after the issued slot");
+    }
+}

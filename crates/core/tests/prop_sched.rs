@@ -1,0 +1,422 @@
+//! Property-based tests of the scheduling policies: every policy's `order`
+//! must be a permutation of its candidates for arbitrary machine states,
+//! and PRO's priority bands must hold for arbitrary event histories.
+
+use proptest::prelude::*;
+use pro_core::{
+    IssueInfo, Pro, ProConfig, SchedView, SchedulerKind, TbState, WarpScheduler, WarpSlot,
+    WarpState,
+};
+
+const WARPS_PER_TB: usize = 4;
+
+#[derive(Debug, Clone)]
+struct Fixture {
+    warps: Vec<WarpState>,
+    tbs: Vec<TbState>,
+    fast: bool,
+    cycle: u64,
+}
+
+impl Fixture {
+    fn view(&self) -> SchedView<'_> {
+        SchedView {
+            cycle: self.cycle,
+            warps: &self.warps,
+            tbs: &self.tbs,
+            tbs_waiting_in_tb_scheduler: self.fast,
+        }
+    }
+    fn live_slots(&self) -> Vec<WarpSlot> {
+        (0..self.warps.len())
+            .filter(|&w| self.warps[w].active && !self.warps[w].finished)
+            .collect()
+    }
+}
+
+/// Strategy: a random 1-6 TB fixture with random per-warp progress and
+/// blocked/barrier flags.
+fn arb_fixture() -> impl Strategy<Value = Fixture> {
+    (
+        1usize..=6,
+        proptest::collection::vec((any::<u16>(), any::<bool>(), 0u8..4), 24),
+        proptest::collection::vec(any::<u16>(), 6),
+        any::<bool>(),
+        0u64..10_000,
+    )
+        .prop_map(|(ntbs, wflags, tbprog, fast, cycle)| {
+            let mut warps = vec![WarpState::default(); ntbs * WARPS_PER_TB];
+            let mut tbs = vec![TbState::default(); ntbs];
+            for t in 0..ntbs {
+                tbs[t] = TbState {
+                    occupied: true,
+                    global_index: t as u32,
+                    progress: tbprog[t] as u64,
+                    num_warps: WARPS_PER_TB as u32,
+                    warps_at_barrier: 0,
+                    warps_finished: 0,
+                    launched_at: t as u64 * 7,
+                };
+                for w in 0..WARPS_PER_TB {
+                    let slot = t * WARPS_PER_TB + w;
+                    let (prog, blocked, _) = wflags[slot % wflags.len()];
+                    warps[slot] = WarpState {
+                        active: true,
+                        tb_slot: t,
+                        index_in_tb: w as u32,
+                        progress: prog as u64,
+                        at_barrier: false,
+                        finished: false,
+                        blocked_on_longlat: blocked,
+                    };
+                }
+            }
+            Fixture {
+                warps,
+                tbs,
+                fast,
+                cycle,
+            }
+        })
+}
+
+proptest! {
+    #[test]
+    fn every_policy_orders_a_permutation(f in arb_fixture(), subset_mask: u32) {
+        for kind in SchedulerKind::ALL {
+            let mut policy = kind.build(f.warps.len(), f.tbs.len(), 2);
+            for t in 0..f.tbs.len() {
+                policy.on_tb_launch(t, &f.view());
+            }
+            policy.begin_cycle(&f.view());
+            // A random subset of live slots as candidates.
+            let cands: Vec<WarpSlot> = f
+                .live_slots()
+                .into_iter()
+                .filter(|&w| subset_mask & (1 << (w % 32)) != 0)
+                .collect();
+            let mut out = Vec::new();
+            for unit in 0..2 {
+                policy.order(unit, &f.view(), &cands, &mut out);
+                let mut sorted = out.clone();
+                sorted.sort_unstable();
+                let mut expect = cands.clone();
+                expect.sort_unstable();
+                prop_assert_eq!(&sorted, &expect, "{} unit {}", kind.name(), unit);
+            }
+        }
+    }
+
+    #[test]
+    fn policies_survive_random_event_storms(
+        f in arb_fixture(),
+        events in proptest::collection::vec((0u8..5, 0usize..24), 0..48)
+    ) {
+        for kind in SchedulerKind::ALL {
+            let mut f = f.clone();
+            let mut policy = kind.build(f.warps.len(), f.tbs.len(), 2);
+            for t in 0..f.tbs.len() {
+                policy.on_tb_launch(t, &f.view());
+            }
+            for (ev, x) in &events {
+                let slot = x % f.warps.len();
+                let tb = f.warps[slot].tb_slot;
+                match ev {
+                    0 => {
+                        let view = f.view();
+                        policy.begin_cycle(&view);
+                    }
+                    1 => {
+                        // barrier arrive
+                        if !f.warps[slot].at_barrier && !f.warps[slot].finished {
+                            f.warps[slot].at_barrier = true;
+                            f.tbs[tb].warps_at_barrier += 1;
+                            policy.on_barrier_arrive(slot, tb, &f.view());
+                            // release if all parked
+                            if f.tbs[tb].warps_at_barrier + f.tbs[tb].warps_finished
+                                == f.tbs[tb].num_warps
+                            {
+                                for w in 0..f.warps.len() {
+                                    if f.warps[w].tb_slot == tb {
+                                        f.warps[w].at_barrier = false;
+                                    }
+                                }
+                                f.tbs[tb].warps_at_barrier = 0;
+                                policy.on_barrier_release(tb, &f.view());
+                            }
+                        }
+                    }
+                    2 => {
+                        // finish a warp
+                        if !f.warps[slot].finished && !f.warps[slot].at_barrier {
+                            f.warps[slot].finished = true;
+                            f.tbs[tb].warps_finished += 1;
+                            policy.on_warp_finish(slot, tb, &f.view());
+                            if f.tbs[tb].warps_finished == f.tbs[tb].num_warps {
+                                policy.on_tb_finish(tb, &f.view());
+                                for w in 0..f.warps.len() {
+                                    if f.warps[w].tb_slot == tb {
+                                        f.warps[w] = WarpState::default();
+                                    }
+                                }
+                                f.tbs[tb] = TbState::default();
+                            }
+                        }
+                    }
+                    3 => {
+                        // issue event + progress bump
+                        if !f.warps[slot].finished && f.warps[slot].active {
+                            f.warps[slot].progress += 32;
+                            f.tbs[tb].progress += 32;
+                            policy.on_issue(
+                                (slot % 2) as u32,
+                                slot,
+                                IssueInfo {
+                                    active_threads: 32,
+                                    is_global_load: *x % 3 == 0,
+                                },
+                                &f.view(),
+                            );
+                        }
+                    }
+                    _ => {
+                        f.cycle += 500;
+                    }
+                }
+            }
+            // After any storm, ordering must still be a valid permutation.
+            policy.begin_cycle(&f.view());
+            let cands = f.live_slots();
+            let mut out = Vec::new();
+            policy.order(0, &f.view(), &cands, &mut out);
+            let mut sorted = out.clone();
+            sorted.sort_unstable();
+            let mut expect = cands.clone();
+            expect.sort_unstable();
+            prop_assert_eq!(sorted, expect, "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn pro_priority_bands_hold(f in arb_fixture()) {
+        prop_assume!(f.tbs.len() >= 3);
+        prop_assume!(f.fast);
+        let mut f = f;
+        let mut pro = Pro::new(f.warps.len(), f.tbs.len(), ProConfig::default());
+        for t in 0..f.tbs.len() {
+            pro.on_tb_launch(t, &f.view());
+        }
+        // TB0 → finishWait, TB1 → barrierWait, TB2.. stay noWait.
+        let w0 = 0;
+        f.warps[w0].finished = true;
+        f.tbs[0].warps_finished = 1;
+        pro.on_warp_finish(w0, 0, &f.view());
+        let w1 = WARPS_PER_TB;
+        f.warps[w1].at_barrier = true;
+        f.tbs[1].warps_at_barrier = 1;
+        pro.on_barrier_arrive(w1, 1, &f.view());
+        pro.begin_cycle(&f.view());
+        let cands = f.live_slots();
+        let mut out = Vec::new();
+        pro.order(0, &f.view(), &cands, &mut out);
+        let band = |slot: WarpSlot| -> u8 {
+            match f.warps[slot].tb_slot {
+                0 => 0, // finishWait band
+                1 => 1, // barrierWait band
+                _ => 2, // noWait band
+            }
+        };
+        // Bands must be non-decreasing through the ordered list.
+        for pair in out.windows(2) {
+            prop_assert!(
+                band(pair[0]) <= band(pair[1]),
+                "band inversion: {:?} (bands {} > {})",
+                pair,
+                band(pair[0]),
+                band(pair[1])
+            );
+        }
+    }
+
+    #[test]
+    fn pro_trace_lists_each_live_tb_exactly_once(f in arb_fixture()) {
+        let mut pro = Pro::new(f.warps.len(), f.tbs.len(), ProConfig::default());
+        for t in 0..f.tbs.len() {
+            pro.on_tb_launch(t, &f.view());
+        }
+        pro.begin_cycle(&f.view());
+        let trace = pro.tb_priority_trace(&f.view()).unwrap();
+        let mut sorted = trace.clone();
+        sorted.sort_unstable();
+        let expect: Vec<u32> = (0..f.tbs.len() as u32).collect();
+        prop_assert_eq!(sorted, expect);
+    }
+}
+
+/// Fig. 3 conformance: drive PRO with random (but protocol-legal) event
+/// storms and assert every TB class change follows an edge of the paper's
+/// state transition diagram.
+mod fig3_conformance {
+    use super::*;
+    use pro_core::pro::TbClass;
+
+
+    fn legal(from: TbClass, to: TbClass, fast: bool) -> bool {
+        use TbClass::*;
+        if from == to {
+            return true;
+        }
+        match (from, to) {
+            // Launch/retire edges.
+            (Empty, NoWait) | (Empty, FinishNoWait) => true,
+            (_, Empty) => true,
+            (_, Finished) => true, // all-warps-finished is terminal from anywhere
+            // Fast-phase edges.
+            (NoWait, BarrierWait) => fast,
+            (NoWait, FinishWait) => fast,
+            (BarrierWait, NoWait) => fast,
+            // Fast→slow merge edges.
+            (NoWait, FinishNoWait) => !fast,
+            (FinishWait, FinishNoWait) => !fast,
+            (BarrierWait, BarrierWait1) => !fast,
+            // Slow-phase edges.
+            (FinishNoWait, BarrierWait1) => !fast,
+            (BarrierWait1, FinishNoWait) => !fast,
+            _ => false,
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn class_changes_follow_the_diagram(
+            events in proptest::collection::vec((0u8..4, 0usize..16, any::<bool>()), 0..64)
+        ) {
+            const NTBS: usize = 4;
+            let mut f = crate::Fixture {
+                warps: vec![WarpState::default(); NTBS * WARPS_PER_TB],
+                tbs: vec![TbState::default(); NTBS],
+                fast: true,
+                cycle: 0,
+            };
+            for t in 0..NTBS {
+                f.tbs[t] = TbState {
+                    occupied: true,
+                    global_index: t as u32,
+                    progress: 0,
+                    num_warps: WARPS_PER_TB as u32,
+                    warps_at_barrier: 0,
+                    warps_finished: 0,
+                    launched_at: 0,
+                };
+                for w in 0..WARPS_PER_TB {
+                    f.warps[t * WARPS_PER_TB + w] = WarpState {
+                        active: true,
+                        tb_slot: t,
+                        index_in_tb: w as u32,
+                        progress: 0,
+                        at_barrier: false,
+                        finished: false,
+                        blocked_on_longlat: false,
+                    };
+                }
+            }
+            let mut pro = Pro::new(f.warps.len(), NTBS, ProConfig::default());
+            let mut classes = [TbClass::Empty; NTBS];
+            for (t, c) in classes.iter_mut().enumerate() {
+                pro.on_tb_launch(t, &f.view());
+                let new = pro.tb_class(t);
+                prop_assert!(legal(*c, new, f.fast), "launch {:?} -> {:?}", *c, new);
+                *c = new;
+            }
+            let check = |pro: &Pro, classes: &mut [TbClass; NTBS], fast: bool| {
+                for (t, c) in classes.iter_mut().enumerate() {
+                    let new = pro.tb_class(t);
+                    if !legal(*c, new, fast) {
+                        return Err(format!("illegal {:?} -> {:?} (fast={fast})", *c, new));
+                    }
+                    *c = new;
+                }
+                Ok(())
+            };
+            for (ev, x, phase_toggle) in events {
+                // Phase can only move fast → slow (TBs drain from the global
+                // scheduler); once slow it stays slow for this kernel. The
+                // SM contract guarantees begin_cycle observes the new phase
+                // before any event of that cycle is delivered.
+                if phase_toggle && f.fast {
+                    f.fast = false;
+                    pro.begin_cycle(&f.view());
+                    if let Err(e) = check(&pro, &mut classes, f.fast) {
+                        prop_assert!(false, "at phase transition: {e}");
+                    }
+                }
+                let slot = x % f.warps.len();
+                let tb = f.warps[slot].tb_slot;
+                if !f.tbs[tb].occupied {
+                    continue;
+                }
+                match ev {
+                    0 => {
+                        f.cycle += 700;
+                        pro.begin_cycle(&f.view());
+                    }
+                    1 => {
+                        if !f.warps[slot].at_barrier && !f.warps[slot].finished {
+                            f.warps[slot].at_barrier = true;
+                            f.tbs[tb].warps_at_barrier += 1;
+                            pro.on_barrier_arrive(slot, tb, &f.view());
+                            if f.tbs[tb].warps_at_barrier + f.tbs[tb].warps_finished
+                                == f.tbs[tb].num_warps
+                            {
+                                for w in 0..f.warps.len() {
+                                    if f.warps[w].tb_slot == tb {
+                                        f.warps[w].at_barrier = false;
+                                    }
+                                }
+                                f.tbs[tb].warps_at_barrier = 0;
+                                pro.on_barrier_release(tb, &f.view());
+                            }
+                        }
+                    }
+                    2 => {
+                        if !f.warps[slot].finished && !f.warps[slot].at_barrier {
+                            f.warps[slot].finished = true;
+                            f.tbs[tb].warps_finished += 1;
+                            pro.on_warp_finish(slot, tb, &f.view());
+                            if f.tbs[tb].warps_finished == f.tbs[tb].num_warps {
+                                prop_assert_eq!(pro.tb_class(tb), TbClass::Finished);
+                                pro.on_tb_finish(tb, &f.view());
+                                for w in 0..f.warps.len() {
+                                    if f.warps[w].tb_slot == tb {
+                                        f.warps[w] = WarpState::default();
+                                    }
+                                }
+                                f.tbs[tb] = TbState::default();
+                            } else if f.tbs[tb].warps_at_barrier > 0
+                                && f.tbs[tb].warps_at_barrier + f.tbs[tb].warps_finished
+                                    == f.tbs[tb].num_warps
+                            {
+                                for w in 0..f.warps.len() {
+                                    if f.warps[w].tb_slot == tb {
+                                        f.warps[w].at_barrier = false;
+                                    }
+                                }
+                                f.tbs[tb].warps_at_barrier = 0;
+                                pro.on_barrier_release(tb, &f.view());
+                            }
+                        }
+                    }
+                    _ => {
+                        if f.warps[slot].active && !f.warps[slot].finished {
+                            f.warps[slot].progress += 32;
+                            f.tbs[tb].progress += 32;
+                        }
+                    }
+                }
+                if let Err(e) = check(&pro, &mut classes, f.fast) {
+                    prop_assert!(false, "{e}");
+                }
+            }
+        }
+    }
+}

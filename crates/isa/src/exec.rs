@@ -1,0 +1,187 @@
+//! Pure functional semantics for VPTX operations.
+//!
+//! These are lane-level scalar functions with no microarchitectural state;
+//! the SM model calls them per active lane. Keeping them here (a) lets the
+//! workloads be tested functionally without a simulator and (b) guarantees
+//! that every scheduler executes *identical* arithmetic, so end-to-end
+//! memory-content checks can assert scheduler independence.
+
+use crate::inst::{AluOp, AtomOp, CmpOp, SfuOp, Ty};
+
+#[inline]
+fn f(a: u32) -> f32 {
+    f32::from_bits(a)
+}
+
+#[inline]
+fn b(a: f32) -> u32 {
+    a.to_bits()
+}
+
+/// Evaluate an ALU operation on raw 32-bit lane values.
+#[inline]
+pub fn eval_alu(op: AluOp, a: u32, bb: u32, c: u32) -> u32 {
+    match op {
+        AluOp::IAdd => a.wrapping_add(bb),
+        AluOp::ISub => a.wrapping_sub(bb),
+        AluOp::IMul => a.wrapping_mul(bb),
+        AluOp::IMulHi => (((a as i32 as i64) * (bb as i32 as i64)) >> 32) as u32,
+        AluOp::IMad => a.wrapping_mul(bb).wrapping_add(c),
+        AluOp::IMin => (a as i32).min(bb as i32) as u32,
+        AluOp::IMax => (a as i32).max(bb as i32) as u32,
+        AluOp::And => a & bb,
+        AluOp::Or => a | bb,
+        AluOp::Xor => a ^ bb,
+        AluOp::Shl => a.wrapping_shl(bb & 31),
+        AluOp::Shr => a.wrapping_shr(bb & 31),
+        AluOp::Sra => ((a as i32).wrapping_shr(bb & 31)) as u32,
+        AluOp::Mov => a,
+        AluOp::FAdd => b(f(a) + f(bb)),
+        AluOp::FSub => b(f(a) - f(bb)),
+        AluOp::FMul => b(f(a) * f(bb)),
+        AluOp::FFma => b(f(a).mul_add(f(bb), f(c))),
+        AluOp::FMin => b(f(a).min(f(bb))),
+        AluOp::FMax => b(f(a).max(f(bb))),
+        AluOp::I2F => b(a as i32 as f32),
+        AluOp::F2I => f(a) as i32 as u32,
+    }
+}
+
+/// Evaluate a typed comparison.
+#[inline]
+pub fn eval_cmp(cmp: CmpOp, ty: Ty, a: u32, bb: u32) -> bool {
+    match ty {
+        Ty::S32 => {
+            let (x, y) = (a as i32, bb as i32);
+            match cmp {
+                CmpOp::Eq => x == y,
+                CmpOp::Ne => x != y,
+                CmpOp::Lt => x < y,
+                CmpOp::Le => x <= y,
+                CmpOp::Gt => x > y,
+                CmpOp::Ge => x >= y,
+            }
+        }
+        Ty::U32 => match cmp {
+            CmpOp::Eq => a == bb,
+            CmpOp::Ne => a != bb,
+            CmpOp::Lt => a < bb,
+            CmpOp::Le => a <= bb,
+            CmpOp::Gt => a > bb,
+            CmpOp::Ge => a >= bb,
+        },
+        Ty::F32 => {
+            let (x, y) = (f(a), f(bb));
+            match cmp {
+                CmpOp::Eq => x == y,
+                CmpOp::Ne => x != y,
+                CmpOp::Lt => x < y,
+                CmpOp::Le => x <= y,
+                CmpOp::Gt => x > y,
+                CmpOp::Ge => x >= y,
+            }
+        }
+    }
+}
+
+/// Evaluate a special-function (transcendental) operation. Hardware SFUs are
+/// approximate; exact `f32` math is a faithful stand-in for scheduling
+/// purposes (latency is modelled in the SM, not here).
+#[inline]
+pub fn eval_sfu(op: SfuOp, a: u32) -> u32 {
+    let x = f(a);
+    let r = match op {
+        SfuOp::Rcp => 1.0 / x,
+        SfuOp::Rsqrt => 1.0 / x.sqrt(),
+        SfuOp::Sqrt => x.sqrt(),
+        SfuOp::Sin => x.sin(),
+        SfuOp::Cos => x.cos(),
+        SfuOp::Exp2 => x.exp2(),
+        SfuOp::Log2 => x.log2(),
+    };
+    b(r)
+}
+
+/// Apply an atomic RMW: returns `(new_value, old_value)`.
+#[inline]
+pub fn eval_atom(op: AtomOp, old: u32, src: u32) -> (u32, u32) {
+    let new = match op {
+        AtomOp::Add => old.wrapping_add(src),
+        AtomOp::Max => (old as i32).max(src as i32) as u32,
+        AtomOp::Exch => src,
+    };
+    (new, old)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integer_ops_wrap() {
+        assert_eq!(eval_alu(AluOp::IAdd, u32::MAX, 1, 0), 0);
+        assert_eq!(eval_alu(AluOp::IMul, 0x8000_0000, 2, 0), 0);
+        assert_eq!(eval_alu(AluOp::IMad, 3, 4, 5), 17);
+    }
+
+    #[test]
+    fn high_multiply_is_signed() {
+        // -1 * -1 = 1 → high word 0
+        assert_eq!(eval_alu(AluOp::IMulHi, u32::MAX, u32::MAX, 0), 0);
+        // 2^20 * 2^20 = 2^40 → high word 2^8
+        assert_eq!(eval_alu(AluOp::IMulHi, 1 << 20, 1 << 20, 0), 1 << 8);
+    }
+
+    #[test]
+    fn shifts_mask_their_amount() {
+        assert_eq!(eval_alu(AluOp::Shl, 1, 33, 0), 2);
+        assert_eq!(eval_alu(AluOp::Shr, 0x8000_0000, 31, 0), 1);
+        assert_eq!(eval_alu(AluOp::Sra, 0x8000_0000, 31, 0), u32::MAX);
+    }
+
+    #[test]
+    fn float_ops_roundtrip_bits() {
+        let x = 1.5f32.to_bits();
+        let y = 2.25f32.to_bits();
+        assert_eq!(f32::from_bits(eval_alu(AluOp::FAdd, x, y, 0)), 3.75);
+        assert_eq!(f32::from_bits(eval_alu(AluOp::FMul, x, y, 0)), 3.375);
+        let fma = eval_alu(AluOp::FFma, x, y, 1.0f32.to_bits());
+        assert_eq!(f32::from_bits(fma), 1.5f32.mul_add(2.25, 1.0));
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(f32::from_bits(eval_alu(AluOp::I2F, (-3i32) as u32, 0, 0)), -3.0);
+        assert_eq!(eval_alu(AluOp::F2I, 3.9f32.to_bits(), 0, 0), 3);
+        assert_eq!(eval_alu(AluOp::F2I, (-3.9f32).to_bits(), 0, 0) as i32, -3);
+    }
+
+    #[test]
+    fn comparisons_respect_type() {
+        // -1 < 1 signed, but 0xFFFFFFFF > 1 unsigned.
+        assert!(eval_cmp(CmpOp::Lt, Ty::S32, u32::MAX, 1));
+        assert!(!eval_cmp(CmpOp::Lt, Ty::U32, u32::MAX, 1));
+        assert!(eval_cmp(CmpOp::Gt, Ty::U32, u32::MAX, 1));
+        assert!(eval_cmp(CmpOp::Le, Ty::F32, 1.0f32.to_bits(), 1.0f32.to_bits()));
+        // NaN compares false for everything except Ne.
+        let nan = f32::NAN.to_bits();
+        assert!(!eval_cmp(CmpOp::Eq, Ty::F32, nan, nan));
+        assert!(eval_cmp(CmpOp::Ne, Ty::F32, nan, nan));
+    }
+
+    #[test]
+    fn sfu_matches_libm() {
+        let x = 0.7f32;
+        assert_eq!(f32::from_bits(eval_sfu(SfuOp::Sin, x.to_bits())), x.sin());
+        assert_eq!(f32::from_bits(eval_sfu(SfuOp::Rcp, 4.0f32.to_bits())), 0.25);
+        assert_eq!(f32::from_bits(eval_sfu(SfuOp::Rsqrt, 4.0f32.to_bits())), 0.5);
+    }
+
+    #[test]
+    fn atomics_return_old_value() {
+        assert_eq!(eval_atom(AtomOp::Add, 10, 5), (15, 10));
+        assert_eq!(eval_atom(AtomOp::Max, 10, 5), (10, 10));
+        assert_eq!(eval_atom(AtomOp::Max, 5, 10), (10, 5));
+        assert_eq!(eval_atom(AtomOp::Exch, 1, 2), (2, 1));
+    }
+}

@@ -1,0 +1,136 @@
+//! Functional backing store for device global memory, plus a bump allocator
+//! workloads use to lay out their buffers (the CUDA `cudaMalloc` stand-in).
+
+/// Device global memory: a flat, word-addressed store.
+///
+/// Addresses are byte addresses; accesses must be 4-byte aligned (VPTX loads
+/// and stores are 32-bit). Out-of-bounds accesses panic — workloads size
+/// their buffers explicitly, so an OOB access is a kernel bug we want to
+/// catch, not mask.
+#[derive(Debug, Clone)]
+pub struct GlobalMem {
+    words: Vec<u32>,
+    next_alloc: u64,
+}
+
+impl GlobalMem {
+    /// Create a memory of `bytes` bytes (rounded up to a word).
+    pub fn new(bytes: u64) -> Self {
+        GlobalMem {
+            words: vec![0; (bytes as usize).div_ceil(4)],
+            next_alloc: 0,
+        }
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.words.len() as u64 * 4
+    }
+
+    /// Allocate `bytes` (aligned up to 256 B like `cudaMalloc`); returns the
+    /// base byte address.
+    pub fn alloc(&mut self, bytes: u64) -> u64 {
+        let base = self.next_alloc;
+        let aligned = bytes.div_ceil(256) * 256;
+        self.next_alloc += aligned;
+        assert!(
+            self.next_alloc <= self.capacity(),
+            "global memory exhausted: wanted {} bytes past {}",
+            bytes,
+            base
+        );
+        base
+    }
+
+    /// Allocate and fill from a slice of words; returns the base address.
+    pub fn alloc_init(&mut self, data: &[u32]) -> u64 {
+        let base = self.alloc(data.len() as u64 * 4);
+        for (i, w) in data.iter().enumerate() {
+            self.write(base + i as u64 * 4, *w);
+        }
+        base
+    }
+
+    /// Allocate and fill with `f32` values.
+    pub fn alloc_init_f32(&mut self, data: &[f32]) -> u64 {
+        let words: Vec<u32> = data.iter().map(|v| v.to_bits()).collect();
+        self.alloc_init(&words)
+    }
+
+    /// Read the 32-bit word at byte address `addr`.
+    #[inline]
+    pub fn read(&self, addr: u64) -> u32 {
+        debug_assert!(addr.is_multiple_of(4), "unaligned global read at {addr:#x}");
+        self.words[(addr / 4) as usize]
+    }
+
+    /// Write the 32-bit word at byte address `addr`.
+    #[inline]
+    pub fn write(&mut self, addr: u64, value: u32) {
+        debug_assert!(addr.is_multiple_of(4), "unaligned global write at {addr:#x}");
+        self.words[(addr / 4) as usize] = value;
+    }
+
+    /// Read an `f32` stored at `addr`.
+    pub fn read_f32(&self, addr: u64) -> f32 {
+        f32::from_bits(self.read(addr))
+    }
+
+    /// Copy out `len` words starting at byte address `addr`.
+    pub fn read_slice(&self, addr: u64, len: usize) -> Vec<u32> {
+        (0..len).map(|i| self.read(addr + i as u64 * 4)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_is_aligned_and_disjoint() {
+        let mut m = GlobalMem::new(1 << 20);
+        let a = m.alloc(100);
+        let b = m.alloc(100);
+        assert_eq!(a % 256, 0);
+        assert_eq!(b % 256, 0);
+        assert!(b >= a + 100);
+    }
+
+    #[test]
+    fn read_write_roundtrip() {
+        let mut m = GlobalMem::new(4096);
+        m.write(8, 0xdeadbeef);
+        assert_eq!(m.read(8), 0xdeadbeef);
+        assert_eq!(m.read(12), 0);
+    }
+
+    #[test]
+    fn f32_roundtrip() {
+        let mut m = GlobalMem::new(4096);
+        let base = m.alloc_init_f32(&[1.0, -2.5]);
+        assert_eq!(m.read_f32(base), 1.0);
+        assert_eq!(m.read_f32(base + 4), -2.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "global memory exhausted")]
+    fn exhaustion_panics() {
+        let mut m = GlobalMem::new(256);
+        let _ = m.alloc(256);
+        let _ = m.alloc(1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_bounds_read_panics() {
+        let m = GlobalMem::new(16);
+        let _ = m.read(16);
+    }
+
+    #[test]
+    fn alloc_init_copies_data() {
+        let mut m = GlobalMem::new(4096);
+        let base = m.alloc_init(&[1, 2, 3]);
+        assert_eq!(m.read_slice(base, 3), vec![1, 2, 3]);
+    }
+}

@@ -1,0 +1,541 @@
+//! The whole-GPU model: SM array, global thread block scheduler (the "work
+//! distribution engine" of §I), shared memory hierarchy, and the run loop
+//! that executes a kernel grid to completion.
+
+use crate::result::{RunResult, TbOrderSnapshot, TbSpan};
+use pro_core::SchedulerKind;
+use pro_isa::Kernel;
+use pro_mem::{GlobalMem, MemConfig, MemSubsystem};
+use pro_sm::{Sm, SmConfig, SmStats, TickReport};
+use std::collections::{HashMap, VecDeque};
+
+/// Whole-GPU configuration (defaults = the paper's Table I).
+#[derive(Debug, Clone, Copy)]
+pub struct GpuConfig {
+    /// Number of SMs (Table I: 14).
+    pub num_sms: u32,
+    /// Per-SM microarchitecture.
+    pub sm: SmConfig,
+    /// Memory hierarchy parameters.
+    pub mem: MemConfig,
+    /// Abort threshold for the run loop (simulator-bug guard).
+    pub max_cycles: u64,
+}
+
+impl GpuConfig {
+    /// NVIDIA Fermi GTX480 as configured in the paper (Table I).
+    pub fn gtx480() -> Self {
+        GpuConfig {
+            num_sms: 14,
+            sm: SmConfig::gtx480(),
+            mem: MemConfig::gtx480(),
+            max_cycles: 200_000_000,
+        }
+    }
+
+    /// A scaled-down GPU for fast unit/integration tests: 2 SMs, otherwise
+    /// Fermi-like.
+    pub fn small(num_sms: u32) -> Self {
+        GpuConfig {
+            num_sms,
+            ..Self::gtx480()
+        }
+    }
+}
+
+/// Optional measurement hooks for a launch.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TraceOptions {
+    /// Record each TB's (SM, start, end) — regenerates Fig. 2.
+    pub timeline: bool,
+    /// Record the policy's TB priority order on SM `sm` every `period`
+    /// cycles — regenerates Table IV. `period = 0` disables.
+    pub tb_order_sm: u32,
+    /// Sampling period for `tb_order_sm` (0 = off).
+    pub tb_order_period: u64,
+    /// Record per-SM issued-instruction counts every `utilization_period`
+    /// cycles (0 = off) — drives the occupancy heatmap.
+    pub utilization_period: u64,
+}
+
+/// Simulation failure modes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The run loop exceeded `max_cycles` — a deadlock or runaway kernel.
+    Timeout {
+        /// Cycle count reached.
+        at_cycle: u64,
+        /// TBs still unfinished.
+        pending_tbs: u32,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Timeout { at_cycle, pending_tbs } => write!(
+                f,
+                "simulation exceeded {at_cycle} cycles with {pending_tbs} TBs outstanding"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// A simulated GPU: construct once per experiment, [`Gpu::launch`] one or
+/// more kernels sequentially (global memory persists across launches, so
+/// multi-kernel applications like the NN layers chain naturally).
+pub struct Gpu {
+    cfg: GpuConfig,
+    sms: Vec<Sm>,
+    mem: MemSubsystem,
+    /// Device global memory (functional store). Public so hosts can read
+    /// back results and allocate buffers between launches.
+    pub gmem: GlobalMem,
+    cycle: u64,
+}
+
+impl std::fmt::Debug for Gpu {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Gpu")
+            .field("num_sms", &self.cfg.num_sms)
+            .field("cycle", &self.cycle)
+            .finish()
+    }
+}
+
+impl Gpu {
+    /// Build a GPU with `gmem_bytes` of device memory.
+    pub fn new(cfg: GpuConfig, gmem_bytes: u64) -> Self {
+        Gpu {
+            sms: (0..cfg.num_sms).map(|i| Sm::new(i, cfg.sm)).collect(),
+            mem: MemSubsystem::new(cfg.mem, cfg.num_sms as usize),
+            gmem: GlobalMem::new(gmem_bytes),
+            cycle: 0,
+            cfg,
+        }
+    }
+
+    /// The GPU's configuration.
+    pub fn config(&self) -> &GpuConfig {
+        &self.cfg
+    }
+
+    /// Current global cycle (monotonic across launches).
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Run `kernel` to completion under `scheduler`, collecting statistics
+    /// and optional traces.
+    ///
+    /// A fresh policy instance is built per launch: hardware scheduler
+    /// state drains with the grid anyway, and PRO's fast/slow phase latch
+    /// is per-kernel by definition (§III).
+    pub fn launch(
+        &mut self,
+        kernel: &Kernel,
+        scheduler: SchedulerKind,
+        trace: TraceOptions,
+    ) -> Result<RunResult, SimError> {
+        let (w, t, u) = (
+            self.cfg.sm.max_warps,
+            self.cfg.sm.max_tbs,
+            self.cfg.sm.units,
+        );
+        self.launch_custom(kernel, &mut || scheduler.build(w, t, u), trace)
+    }
+
+    /// Like [`Gpu::launch`] but with an arbitrary policy factory — used for
+    /// parameter sweeps (e.g. PRO's THRESHOLD) and custom schedulers that
+    /// have no [`SchedulerKind`]. The factory is called once per SM.
+    pub fn launch_custom(
+        &mut self,
+        kernel: &Kernel,
+        factory: &mut dyn FnMut() -> Box<dyn pro_core::WarpScheduler>,
+        trace: TraceOptions,
+    ) -> Result<RunResult, SimError> {
+        let num_sms = self.cfg.num_sms as usize;
+        let mut policies: Vec<_> = (0..num_sms).map(|_| factory()).collect();
+        for sm in &mut self.sms {
+            sm.begin_kernel(kernel);
+            sm.stats = SmStats::default();
+        }
+        // Fresh memory-system counters per launch: rebuild the subsystem
+        // (caches start cold, as for each GPGPU-Sim kernel run).
+        self.mem = MemSubsystem::new(self.cfg.mem, num_sms);
+
+        let total_tbs = kernel.launch.num_blocks();
+        let mut pending: VecDeque<u32> = (0..total_tbs).collect();
+        let mut outstanding = 0u32; // launched but unfinished
+        let start_cycle = self.cycle;
+        let mut rr_next_sm = 0usize;
+        let mut report = TickReport::default();
+        let mut timeline: Vec<TbSpan> = Vec::new();
+        let mut starts: HashMap<(u32, u32), u64> = HashMap::new();
+        let mut tb_order: Vec<TbOrderSnapshot> = Vec::new();
+        let mut last_order_sample = start_cycle;
+        let mut utilization: Vec<Vec<u64>> = vec![Vec::new(); num_sms];
+        let mut last_util_issued: Vec<u64> = vec![0; num_sms];
+        let mut last_util_sample = start_cycle;
+
+        // Initial fill happens inside the loop (1 TB per SM per cycle),
+        // mirroring the hardware work distributor.
+        loop {
+            let now = self.cycle;
+            let rel = now - start_cycle;
+            if rel > self.cfg.max_cycles {
+                return Err(SimError::Timeout {
+                    at_cycle: rel,
+                    pending_tbs: pending.len() as u32 + outstanding,
+                });
+            }
+            let fast_phase = !pending.is_empty();
+
+            self.mem.tick(now);
+            for (i, sm) in self.sms.iter_mut().enumerate() {
+                report.finished_tbs.clear();
+                sm.tick(
+                    now,
+                    &mut self.gmem,
+                    &mut self.mem,
+                    policies[i].as_mut(),
+                    fast_phase,
+                    &mut report,
+                );
+                for &g in &report.finished_tbs {
+                    outstanding -= 1;
+                    if trace.timeline {
+                        let start = starts
+                            .remove(&(sm.id, g))
+                            .expect("finish without start");
+                        timeline.push(TbSpan {
+                            sm: sm.id,
+                            global_index: g,
+                            start: start - start_cycle,
+                            end: now - start_cycle,
+                        });
+                    }
+                }
+            }
+
+            // Thread block scheduler: at most one TB per SM per cycle,
+            // round-robin over SMs.
+            if !pending.is_empty() {
+                for k in 0..num_sms {
+                    if pending.is_empty() {
+                        break;
+                    }
+                    let i = (rr_next_sm + k) % num_sms;
+                    if self.sms[i].can_accept_tb() {
+                        let g = pending.pop_front().expect("non-empty");
+                        let fast_after = !pending.is_empty();
+                        self.sms[i].launch_tb(g, now, policies[i].as_mut(), fast_after);
+                        outstanding += 1;
+                        if trace.timeline {
+                            starts.insert((self.sms[i].id, g), now);
+                        }
+                    }
+                }
+                rr_next_sm = (rr_next_sm + 1) % num_sms;
+            }
+
+            // Utilization sampling (per SM issued deltas per interval).
+            if trace.utilization_period > 0
+                && now - last_util_sample >= trace.utilization_period
+            {
+                last_util_sample = now;
+                for (i, sm) in self.sms.iter().enumerate() {
+                    let issued = sm.stats.issued;
+                    utilization[i].push(issued - last_util_issued[i]);
+                    last_util_issued[i] = issued;
+                }
+            }
+
+            // Table IV sampling.
+            if trace.tb_order_period > 0
+                && now - last_order_sample >= trace.tb_order_period
+            {
+                last_order_sample = now;
+                let sm = &self.sms[trace.tb_order_sm as usize];
+                let view = sm.sched_view(now, fast_phase);
+                if let Some(order) = policies[trace.tb_order_sm as usize].tb_priority_trace(&view)
+                {
+                    if !order.is_empty() {
+                        tb_order.push(TbOrderSnapshot {
+                            cycle: now - start_cycle,
+                            order,
+                        });
+                    }
+                }
+            }
+
+            self.cycle += 1;
+            if pending.is_empty() && outstanding == 0 {
+                break;
+            }
+        }
+
+        let cycles = self.cycle - start_cycle;
+        let per_sm: Vec<SmStats> = self.sms.iter().map(|s| s.stats).collect();
+        let mut agg = SmStats::default();
+        for s in &per_sm {
+            agg.merge(s);
+        }
+        Ok(RunResult {
+            kernel: kernel.program.name.clone(),
+            scheduler: policies[0].name(),
+            cycles,
+            sm: agg,
+            per_sm,
+            mem: self.mem.stats(),
+            timeline,
+            tb_order,
+            utilization,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pro_isa::{LaunchConfig, ProgramBuilder, Src};
+
+    fn store_tid_kernel(blocks: u32, threads: u32, out_base: u64) -> Kernel {
+        let mut b = ProgramBuilder::new("store_tid");
+        let g = b.reg();
+        let a = b.reg();
+        b.global_tid(g);
+        b.buf_addr(a, 0, g, 0);
+        b.st_global(g, a, 0);
+        b.exit();
+        Kernel::new(
+            b.build().unwrap(),
+            LaunchConfig::linear(blocks, threads),
+            vec![out_base as u32],
+        )
+    }
+
+    #[test]
+    fn grid_larger_than_gpu_completes_and_is_correct() {
+        let mut gpu = Gpu::new(GpuConfig::small(2), 1 << 22);
+        let out = gpu.gmem.alloc(64 * 128 * 4);
+        let k = store_tid_kernel(64, 128, out);
+        let r = gpu
+            .launch(&k, SchedulerKind::Lrr, TraceOptions::default())
+            .unwrap();
+        assert!(r.cycles > 0);
+        for i in 0..(64 * 128) as u64 {
+            assert_eq!(gpu.gmem.read(out + i * 4), i as u32, "thread {i}");
+        }
+        assert_eq!(r.sm.instructions, 64 * 4 * 4); // 64 TBs x 4 warps x 4 instrs
+    }
+
+    #[test]
+    fn all_schedulers_produce_identical_memory_contents() {
+        let mut reference: Option<Vec<u32>> = None;
+        for kind in SchedulerKind::ALL {
+            let mut gpu = Gpu::new(GpuConfig::small(2), 1 << 22);
+            let out = gpu.gmem.alloc(32 * 64 * 4);
+            let k = store_tid_kernel(32, 64, out);
+            gpu.launch(&k, kind, TraceOptions::default()).unwrap();
+            let snap = gpu.gmem.read_slice(out, 32 * 64);
+            match &reference {
+                None => reference = Some(snap),
+                Some(r) => assert_eq!(r, &snap, "{kind} diverged functionally"),
+            }
+        }
+    }
+
+    #[test]
+    fn timeline_trace_covers_every_tb() {
+        let mut gpu = Gpu::new(GpuConfig::small(2), 1 << 22);
+        let out = gpu.gmem.alloc(24 * 64 * 4);
+        let k = store_tid_kernel(24, 64, out);
+        let r = gpu
+            .launch(
+                &k,
+                SchedulerKind::Pro,
+                TraceOptions {
+                    timeline: true,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+        assert_eq!(r.timeline.len(), 24);
+        for span in &r.timeline {
+            assert!(span.end > span.start);
+        }
+        let mut seen: Vec<u32> = r.timeline.iter().map(|s| s.global_index).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..24).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn tb_order_trace_is_recorded_for_pro() {
+        let mut gpu = Gpu::new(GpuConfig::small(1), 1 << 22);
+        let out = gpu.gmem.alloc(16 * 256 * 4);
+        // Longer kernel so multiple 100-cycle samples land.
+        let mut b = ProgramBuilder::new("loopy");
+        let g = b.reg();
+        let a = b.reg();
+        let i = b.reg();
+        let acc = b.reg();
+        let p = b.pred();
+        b.global_tid(g);
+        b.mov(acc, Src::Imm(0));
+        b.for_loop(i, Src::Imm(0), Src::Imm(50), p, |b, i| {
+            b.iadd(acc, acc, Src::Reg(i));
+        });
+        b.buf_addr(a, 0, g, 0);
+        b.st_global(acc, a, 0);
+        b.exit();
+        let k = Kernel::new(
+            b.build().unwrap(),
+            LaunchConfig::linear(16, 256),
+            vec![out as u32],
+        );
+        let r = gpu
+            .launch(
+                &k,
+                SchedulerKind::Pro,
+                TraceOptions {
+                    timeline: false,
+                    tb_order_sm: 0,
+                    tb_order_period: 100,
+                    utilization_period: 0,
+                },
+            )
+            .unwrap();
+        assert!(
+            r.tb_order.len() >= 3,
+            "expected several snapshots, got {}",
+            r.tb_order.len()
+        );
+        // Snapshots list distinct global indices.
+        for snap in &r.tb_order {
+            let mut o = snap.order.clone();
+            o.sort_unstable();
+            o.dedup();
+            assert_eq!(o.len(), snap.order.len());
+        }
+    }
+
+    #[test]
+    fn lrr_has_no_tb_order_trace() {
+        let mut gpu = Gpu::new(GpuConfig::small(1), 1 << 22);
+        let out = gpu.gmem.alloc(8 * 64 * 4);
+        let k = store_tid_kernel(8, 64, out);
+        let r = gpu
+            .launch(
+                &k,
+                SchedulerKind::Lrr,
+                TraceOptions {
+                    timeline: false,
+                    tb_order_sm: 0,
+                    tb_order_period: 10,
+                    utilization_period: 0,
+                },
+            )
+            .unwrap();
+        assert!(r.tb_order.is_empty());
+    }
+
+    #[test]
+    fn sequential_launches_share_global_memory() {
+        let mut gpu = Gpu::new(GpuConfig::small(1), 1 << 22);
+        let out = gpu.gmem.alloc(64 * 4);
+        let k1 = store_tid_kernel(1, 64, out);
+        gpu.launch(&k1, SchedulerKind::Gto, TraceOptions::default())
+            .unwrap();
+        // Second kernel doubles the first kernel's output in place.
+        let mut b = ProgramBuilder::new("double");
+        let g = b.reg();
+        let a = b.reg();
+        let v = b.reg();
+        b.global_tid(g);
+        b.buf_addr(a, 0, g, 0);
+        b.ld_global(v, a, 0);
+        b.iadd(v, v, Src::Reg(v));
+        b.st_global(v, a, 0);
+        b.exit();
+        let k2 = Kernel::new(
+            b.build().unwrap(),
+            LaunchConfig::linear(1, 64),
+            vec![out as u32],
+        );
+        gpu.launch(&k2, SchedulerKind::Gto, TraceOptions::default())
+            .unwrap();
+        for i in 0..64u64 {
+            assert_eq!(gpu.gmem.read(out + i * 4), (i * 2) as u32);
+        }
+    }
+
+    #[test]
+    fn deadlock_guard_times_out() {
+        let mut gpu = Gpu::new(
+            GpuConfig {
+                max_cycles: 500,
+                ..GpuConfig::small(1)
+            },
+            1 << 20,
+        );
+        // Infinite loop kernel.
+        let mut b = ProgramBuilder::new("hang");
+        let top = b.new_label();
+        let l2 = b.new_label();
+        b.place(top);
+        b.nop();
+        b.place(l2);
+        b.bra(None, top, l2);
+        b.exit();
+        let k = Kernel::new(b.build().unwrap(), LaunchConfig::linear(1, 32), vec![]);
+        let err = gpu
+            .launch(&k, SchedulerKind::Lrr, TraceOptions::default())
+            .unwrap_err();
+        assert!(matches!(err, SimError::Timeout { .. }));
+    }
+
+    #[test]
+    fn utilization_sampling_captures_issue_rates() {
+        let mut gpu = Gpu::new(GpuConfig::small(2), 1 << 22);
+        let out = gpu.gmem.alloc(32 * 64 * 4);
+        let k = store_tid_kernel(32, 64, out);
+        let r = gpu
+            .launch(
+                &k,
+                SchedulerKind::Lrr,
+                TraceOptions {
+                    timeline: false,
+                    tb_order_sm: 0,
+                    tb_order_period: 0,
+                    utilization_period: 20,
+                },
+            )
+            .unwrap();
+        assert_eq!(r.utilization.len(), 2, "one row per SM");
+        let samples = r.utilization[0].len();
+        assert!(samples >= 2, "several intervals sampled: {samples}");
+        // Totals are bounded by issued instructions per SM.
+        for (i, row) in r.utilization.iter().enumerate() {
+            let total: u64 = row.iter().sum();
+            assert!(total <= r.per_sm[i].issued);
+        }
+        // And at least one interval actually issued something.
+        assert!(r.utilization.iter().flatten().any(|&v| v > 0));
+    }
+
+    #[test]
+    fn per_sm_stats_sum_to_aggregate() {
+        let mut gpu = Gpu::new(GpuConfig::small(4), 1 << 22);
+        let out = gpu.gmem.alloc(32 * 64 * 4);
+        let k = store_tid_kernel(32, 64, out);
+        let r = gpu
+            .launch(&k, SchedulerKind::Tl, TraceOptions::default())
+            .unwrap();
+        let sum: u64 = r.per_sm.iter().map(|s| s.instructions).sum();
+        assert_eq!(sum, r.sm.instructions);
+        assert_eq!(r.per_sm.len(), 4);
+    }
+}

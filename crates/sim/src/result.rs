@@ -1,0 +1,164 @@
+//! Results of a simulated kernel launch: cycle counts, the paper's stall
+//! taxonomy, memory statistics, and the traces behind Fig. 2 (TB execution
+//! timeline) and Table IV (PRO's sorted TB order).
+
+use pro_mem::MemStats;
+use pro_sm::SmStats;
+
+/// The execution interval of one thread block on one SM (Fig. 2 bars).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TbSpan {
+    /// SM the TB ran on.
+    pub sm: u32,
+    /// Global TB index.
+    pub global_index: u32,
+    /// Launch cycle.
+    pub start: u64,
+    /// Completion cycle.
+    pub end: u64,
+}
+
+/// A snapshot of a policy's TB priority order (Table IV rows).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TbOrderSnapshot {
+    /// Cycle of the snapshot.
+    pub cycle: u64,
+    /// Global TB indices, highest priority first.
+    pub order: Vec<u32>,
+}
+
+/// Everything measured during one kernel launch.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Kernel name.
+    pub kernel: String,
+    /// Scheduler used.
+    pub scheduler: &'static str,
+    /// Simulated cycles from launch to grid completion.
+    pub cycles: u64,
+    /// Aggregated SM counters (sum over SMs).
+    pub sm: SmStats,
+    /// Per-SM counters.
+    pub per_sm: Vec<SmStats>,
+    /// Memory hierarchy counters.
+    pub mem: MemStats,
+    /// TB execution timeline (only when tracing was requested).
+    pub timeline: Vec<TbSpan>,
+    /// Periodic TB priority snapshots (only for policies that expose them).
+    pub tb_order: Vec<TbOrderSnapshot>,
+    /// Per-SM issued-instruction counts per sampling interval (only when
+    /// `TraceOptions::utilization_period` was set).
+    pub utilization: Vec<Vec<u64>>,
+}
+
+impl RunResult {
+    /// Fraction of stall unit-cycles that were Idle.
+    pub fn idle_frac(&self) -> f64 {
+        frac(self.sm.idle, self.sm.total_stalls())
+    }
+
+    /// Fraction of stall unit-cycles that were Scoreboard.
+    pub fn scoreboard_frac(&self) -> f64 {
+        frac(self.sm.scoreboard, self.sm.total_stalls())
+    }
+
+    /// Fraction of stall unit-cycles that were Pipeline.
+    pub fn pipeline_frac(&self) -> f64 {
+        frac(self.sm.pipeline, self.sm.total_stalls())
+    }
+
+    /// Issued instructions per cycle across the whole GPU.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.sm.instructions as f64 / self.cycles as f64
+        }
+    }
+}
+
+fn frac(n: u64, d: u64) -> f64 {
+    if d == 0 {
+        0.0
+    } else {
+        n as f64 / d as f64
+    }
+}
+
+/// Geometric mean of positive values (the paper's summary statistic).
+pub fn geomean(values: impl IntoIterator<Item = f64>) -> f64 {
+    let mut log_sum = 0.0;
+    let mut n = 0usize;
+    for v in values {
+        debug_assert!(v > 0.0, "geomean over non-positive value {v}");
+        log_sum += v.ln();
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        (log_sum / n as f64).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result(idle: u64, sb: u64, pipe: u64) -> RunResult {
+        RunResult {
+            kernel: "k".into(),
+            scheduler: "LRR",
+            cycles: 100,
+            sm: SmStats {
+                issued: 10,
+                idle,
+                scoreboard: sb,
+                pipeline: pipe,
+                unit_cycles: idle + sb + pipe + 10,
+                instructions: 10,
+                thread_instructions: 320,
+                wld_cycles: 0,
+                tbs_completed: 0,
+                ready_warp_sum: 0,
+                ready_samples: 0,
+            },
+            per_sm: vec![],
+            mem: MemStats::default(),
+            timeline: vec![],
+            tb_order: vec![],
+            utilization: vec![],
+        }
+    }
+
+    #[test]
+    fn stall_fractions_sum_to_one() {
+        let r = result(50, 30, 20);
+        assert!((r.idle_frac() - 0.5).abs() < 1e-12);
+        assert!((r.scoreboard_frac() - 0.3).abs() < 1e-12);
+        assert!((r.pipeline_frac() - 0.2).abs() < 1e-12);
+        let s = r.idle_frac() + r.scoreboard_frac() + r.pipeline_frac();
+        assert!((s - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_stalls_give_zero_fractions() {
+        let r = result(0, 0, 0);
+        assert_eq!(r.idle_frac(), 0.0);
+    }
+
+    #[test]
+    fn ipc_computation() {
+        let r = result(1, 1, 1);
+        assert!((r.ipc() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geomean_matches_hand_computation() {
+        let g = geomean([1.0, 4.0]);
+        assert!((g - 2.0).abs() < 1e-12);
+        let g3 = geomean([2.0, 2.0, 2.0]);
+        assert!((g3 - 2.0).abs() < 1e-12);
+        assert_eq!(geomean([]), 0.0);
+    }
+}

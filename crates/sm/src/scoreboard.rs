@@ -1,0 +1,231 @@
+//! Per-warp scoreboard: tracks in-flight register writes so the issue stage
+//! can detect RAW/WAW hazards. A warp whose next instruction touches a
+//! pending register cannot issue — the cycle is counted as a *Scoreboard
+//! stall* if no other warp can issue either (paper §II.B).
+
+use pro_isa::{Instr, Pred, Reg};
+
+/// Pending-write state for one warp. Registers are tracked in a 128-bit
+/// mask (VPTX programs are validated to ≤128 GPRs), predicates in 32 bits.
+/// Long-latency (global load) destinations are tracked separately so the
+/// two-level scheduler can see `blocked_on_longlat`.
+#[derive(Debug, Clone, Default)]
+pub struct Scoreboard {
+    pending_regs: u128,
+    pending_preds: u32,
+    longlat_regs: u128,
+}
+
+/// A set of destinations reserved at issue, released at writeback.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WriteSet {
+    /// GPR mask.
+    pub regs: u128,
+    /// Predicate mask.
+    pub preds: u32,
+}
+
+impl WriteSet {
+    /// Empty set.
+    pub const EMPTY: WriteSet = WriteSet { regs: 0, preds: 0 };
+
+    /// Set containing a single GPR.
+    pub fn reg(r: Reg) -> Self {
+        WriteSet {
+            regs: 1u128 << r.0,
+            preds: 0,
+        }
+    }
+
+    /// Set containing a single predicate.
+    pub fn pred(p: Pred) -> Self {
+        WriteSet {
+            regs: 0,
+            preds: 1 << p.0,
+        }
+    }
+
+    /// True if the set reserves nothing.
+    pub fn is_empty(&self) -> bool {
+        self.regs == 0 && self.preds == 0
+    }
+}
+
+impl Scoreboard {
+    /// Reset (at warp launch).
+    pub fn clear(&mut self) {
+        *self = Scoreboard::default();
+    }
+
+    /// Destinations an instruction writes.
+    pub fn write_set(instr: &Instr) -> WriteSet {
+        let mut ws = WriteSet::EMPTY;
+        if let Some(r) = instr.dst_reg() {
+            ws.regs |= 1u128 << r.0;
+        }
+        if let Some(p) = instr.dst_pred() {
+            ws.preds |= 1 << p.0;
+        }
+        ws
+    }
+
+    /// All registers an instruction reads or writes (hazard set: RAW on
+    /// sources, WAW/WAR on destinations).
+    pub fn hazard_set(instr: &Instr) -> WriteSet {
+        let mut ws = Self::write_set(instr);
+        for r in instr.src_regs() {
+            ws.regs |= 1u128 << r.0;
+        }
+        for p in instr.src_preds() {
+            ws.preds |= 1 << p.0;
+        }
+        ws
+    }
+
+    /// Can `instr` issue (no pending conflict)?
+    pub fn ready(&self, instr: &Instr) -> bool {
+        let h = Self::hazard_set(instr);
+        (h.regs & self.pending_regs) == 0 && (h.preds & self.pending_preds) == 0
+    }
+
+    /// Reserve destinations at issue. `longlat` marks global-load dests.
+    pub fn reserve(&mut self, ws: WriteSet, longlat: bool) {
+        debug_assert_eq!(
+            ws.regs & self.pending_regs,
+            0,
+            "double reservation (issue logic must check ready())"
+        );
+        self.pending_regs |= ws.regs;
+        self.pending_preds |= ws.preds;
+        if longlat {
+            self.longlat_regs |= ws.regs;
+        }
+    }
+
+    /// Release destinations at writeback.
+    pub fn release(&mut self, ws: WriteSet) {
+        self.pending_regs &= !ws.regs;
+        self.pending_preds &= !ws.preds;
+        self.longlat_regs &= !ws.regs;
+    }
+
+    /// Any pending write at all?
+    pub fn any_pending(&self) -> bool {
+        self.pending_regs != 0 || self.pending_preds != 0
+    }
+
+    /// Any pending *global load* destination? (Two-level demotion signal;
+    /// also: the warp's next instruction may or may not depend on it — the
+    /// TL hardware demotes on the op itself, which this mirrors.)
+    pub fn longlat_pending(&self) -> bool {
+        self.longlat_regs != 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pro_isa::{AluOp, CmpOp, MemSpace, Src, Ty};
+
+    fn add(dst: u8, a: u8, b: u8) -> Instr {
+        Instr::Alu {
+            op: AluOp::IAdd,
+            dst: Reg(dst),
+            a: Src::Reg(Reg(a)),
+            b: Src::Reg(Reg(b)),
+            c: Src::Imm(0),
+        }
+    }
+
+    #[test]
+    fn raw_hazard_blocks() {
+        let mut sb = Scoreboard::default();
+        let producer = add(1, 2, 3);
+        sb.reserve(Scoreboard::write_set(&producer), false);
+        let consumer = add(4, 1, 5); // reads r1
+        assert!(!sb.ready(&consumer));
+        sb.release(WriteSet::reg(Reg(1)));
+        assert!(sb.ready(&consumer));
+    }
+
+    #[test]
+    fn waw_hazard_blocks() {
+        let mut sb = Scoreboard::default();
+        sb.reserve(WriteSet::reg(Reg(1)), false);
+        let w2 = add(1, 2, 3); // writes r1 again
+        assert!(!sb.ready(&w2));
+    }
+
+    #[test]
+    fn independent_instruction_passes() {
+        let mut sb = Scoreboard::default();
+        sb.reserve(WriteSet::reg(Reg(1)), false);
+        assert!(sb.ready(&add(4, 5, 6)));
+    }
+
+    #[test]
+    fn predicate_hazards_tracked() {
+        let mut sb = Scoreboard::default();
+        let setp = Instr::SetP {
+            cmp: CmpOp::Lt,
+            ty: Ty::S32,
+            dst: Pred(0),
+            a: Src::Reg(Reg(0)),
+            b: Src::Imm(10),
+        };
+        sb.reserve(Scoreboard::write_set(&setp), false);
+        let branch = Instr::Bra {
+            guard: Some(pro_isa::inst::Guard {
+                pred: Pred(0),
+                expect: true,
+            }),
+            target: 0,
+            reconv: 1,
+        };
+        assert!(!sb.ready(&branch), "branch waits for its predicate");
+        sb.release(WriteSet::pred(Pred(0)));
+        assert!(sb.ready(&branch));
+    }
+
+    #[test]
+    fn longlat_flag_follows_global_load() {
+        let mut sb = Scoreboard::default();
+        let ld = Instr::Ld {
+            space: MemSpace::Global,
+            dst: Reg(2),
+            addr: Reg(1),
+            offset: 0,
+        };
+        sb.reserve(Scoreboard::write_set(&ld), true);
+        assert!(sb.longlat_pending());
+        sb.release(WriteSet::reg(Reg(2)));
+        assert!(!sb.longlat_pending());
+        assert!(!sb.any_pending());
+    }
+
+    #[test]
+    fn store_has_no_write_set_but_reads_hazard() {
+        let mut sb = Scoreboard::default();
+        let st = Instr::St {
+            space: MemSpace::Global,
+            src: Reg(3),
+            addr: Reg(4),
+            offset: 0,
+        };
+        assert!(Scoreboard::write_set(&st).is_empty());
+        sb.reserve(WriteSet::reg(Reg(3)), true);
+        assert!(!sb.ready(&st), "store must wait for its data register");
+    }
+
+    #[test]
+    fn release_is_idempotent_for_disjoint_sets() {
+        let mut sb = Scoreboard::default();
+        sb.reserve(WriteSet::reg(Reg(1)), false);
+        sb.reserve(WriteSet::reg(Reg(2)), true);
+        sb.release(WriteSet::reg(Reg(1)));
+        assert!(sb.any_pending());
+        assert!(sb.longlat_pending());
+        sb.release(WriteSet::reg(Reg(2)));
+        assert!(!sb.any_pending());
+    }
+}

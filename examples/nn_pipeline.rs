@@ -1,0 +1,110 @@
+//! Multi-kernel application demo: chain the four NN layer kernels through
+//! device memory on one GPU (the way the original app runs them), timing
+//! each launch under two schedulers.
+//!
+//! ```sh
+//! cargo run --release --example nn_pipeline
+//! ```
+
+use pro_sim::isa::{Kernel, LaunchConfig, ProgramBuilder, Src};
+use pro_sim::{Gpu, GpuConfig, SchedulerKind, TraceOptions};
+
+/// Build a dense layer kernel: `out[j] = max(0, Σ_i w[i*out_n + j] * x[i])`
+/// reading activations written by the previous launch.
+fn layer_kernel(
+    name: &str,
+    in_base: u64,
+    w_base: u64,
+    out_base: u64,
+    fan_in: u32,
+    out_n: u32,
+    threads: u32,
+) -> Kernel {
+    let mut b = ProgramBuilder::new(name);
+    let (g, addr, acc, wv, xv, idx) = (b.reg(), b.reg(), b.reg(), b.reg(), b.reg(), b.reg());
+    b.global_tid(g);
+    b.alu(
+        pro_sim::isa::AluOp::Mov,
+        acc,
+        Src::imm_f32(0.0),
+        Src::Imm(0),
+        Src::Imm(0),
+    );
+    for i in 0..fan_in {
+        b.iadd(idx, g, Src::Imm(i * out_n));
+        b.buf_addr(addr, 1, idx, 0);
+        b.ld_global(wv, addr, 0);
+        b.mov(idx, Src::Imm(i));
+        b.buf_addr(addr, 0, idx, 0);
+        b.ld_global(xv, addr, 0);
+        b.ffma(acc, wv, xv, Src::Reg(acc));
+    }
+    b.alu(
+        pro_sim::isa::AluOp::FMax,
+        acc,
+        acc,
+        Src::imm_f32(0.0),
+        Src::Imm(0),
+    );
+    b.buf_addr(addr, 2, g, 0);
+    b.st_global(acc, addr, 0);
+    b.exit();
+    Kernel::new(
+        b.build().expect("layer"),
+        LaunchConfig::linear(out_n / threads, threads),
+        vec![in_base as u32, w_base as u32, out_base as u32],
+    )
+}
+
+fn main() {
+    // Layer sizes (neurons); each layer's output feeds the next.
+    let sizes = [8u32, 128 * 168, 128 * 64, 128 * 32, 128 * 8];
+    for sched in [SchedulerKind::Lrr, SchedulerKind::Pro] {
+        let mut gpu = Gpu::new(GpuConfig::gtx480(), 128 << 20);
+        // Activations + weights for each layer.
+        let act0 = gpu
+            .gmem
+            .alloc_init_f32(&(0..sizes[0]).map(|i| 0.01 * i as f32).collect::<Vec<_>>());
+        let mut acts = vec![act0];
+        let mut kernels = Vec::new();
+        for l in 0..4 {
+            let fan_in = if l == 0 { sizes[0] } else { 16 };
+            let out_n = sizes[l + 1];
+            let w: Vec<f32> = (0..fan_in * out_n)
+                .map(|i| ((i % 97) as f32 - 48.0) * 0.01)
+                .collect();
+            let w_base = gpu.gmem.alloc_init_f32(&w);
+            let out = gpu.gmem.alloc(out_n as u64 * 4);
+            kernels.push(layer_kernel(
+                &format!("execute{}Layer", ["First", "Second", "Third", "Fourth"][l]),
+                acts[l],
+                w_base,
+                out,
+                fan_in,
+                out_n,
+                128,
+            ));
+            acts.push(out);
+        }
+        let mut total = 0u64;
+        println!("--- {} ---", sched.name());
+        for k in &kernels {
+            let r = gpu.launch(k, sched, TraceOptions::default()).expect("layer runs");
+            println!(
+                "  {:<20} {:>8} cycles  IPC {:>5.2}  ({} TBs)",
+                r.kernel,
+                r.cycles,
+                r.ipc(),
+                k.launch.num_blocks()
+            );
+            total += r.cycles;
+        }
+        println!("  {:<20} {:>8} cycles total\n", "ALL LAYERS", total);
+        // Spot-check: the final activations are finite and non-negative (ReLU).
+        let last = *acts.last().unwrap();
+        for i in 0..8u64 {
+            let v = gpu.gmem.read_f32(last + i * 4);
+            assert!(v.is_finite() && v >= 0.0, "activation {i} = {v}");
+        }
+    }
+}

@@ -1,0 +1,224 @@
+//! End-to-end integration tests spanning all crates: ISA → assembler →
+//! SM → memory hierarchy → whole-GPU runs under every scheduler.
+
+use pro_sim::isa::{asm, CmpOp, Kernel, LaunchConfig, ProgramBuilder, Special, Src, Ty};
+use pro_sim::{Gpu, GpuConfig, SchedulerKind, TraceOptions};
+
+fn run(gpu: &mut Gpu, k: &Kernel, s: SchedulerKind) -> pro_sim::RunResult {
+    gpu.launch(k, s, TraceOptions::default()).expect("completes")
+}
+
+#[test]
+fn assembled_kernel_runs_on_full_gpu() {
+    let program = asm::assemble(
+        r#"
+        .kernel inc
+        imad r0, %ctaid, %ntid, %tid
+        imad r1, r0, 4, %param0
+        ld.global r2, [r1+0]
+        iadd r2, r2, 1
+        st.global [r1+0], r2
+        exit
+    "#,
+    )
+    .unwrap();
+    let mut gpu = Gpu::new(GpuConfig::gtx480(), 8 << 20);
+    let n = 32 * 128u32;
+    let base = gpu.gmem.alloc_init(&vec![7u32; n as usize]);
+    let k = Kernel::new(program, LaunchConfig::linear(32, 128), vec![base as u32]);
+    let r = run(&mut gpu, &k, SchedulerKind::Pro);
+    assert!(r.cycles > 0);
+    for i in 0..n as u64 {
+        assert_eq!(gpu.gmem.read(base + i * 4), 8);
+    }
+}
+
+#[test]
+fn multi_kernel_pipeline_chains_buffers() {
+    // Kernel 1 squares, kernel 2 sums pairs — results flow through gmem.
+    let mut gpu = Gpu::new(GpuConfig::small(4), 8 << 20);
+    let n = 8 * 64u32;
+    let input: Vec<u32> = (0..n).collect();
+    let a = gpu.gmem.alloc_init(&input);
+    let bsq = gpu.gmem.alloc(n as u64 * 4);
+    let c = gpu.gmem.alloc((n as u64 / 2) * 4);
+
+    let mut b1 = ProgramBuilder::new("square");
+    let (g, ad, v) = (b1.reg(), b1.reg(), b1.reg());
+    b1.global_tid(g);
+    b1.buf_addr(ad, 0, g, 0);
+    b1.ld_global(v, ad, 0);
+    b1.imul(v, v, Src::Reg(v));
+    b1.buf_addr(ad, 1, g, 0);
+    b1.st_global(v, ad, 0);
+    b1.exit();
+    let k1 = Kernel::new(
+        b1.build().unwrap(),
+        LaunchConfig::linear(8, 64),
+        vec![a as u32, bsq as u32],
+    );
+
+    let mut b2 = ProgramBuilder::new("pairsum");
+    let (g, ad, x, y, idx) = (b2.reg(), b2.reg(), b2.reg(), b2.reg(), b2.reg());
+    b2.global_tid(g);
+    b2.shl(idx, g, Src::Imm(1));
+    b2.buf_addr(ad, 0, idx, 0);
+    b2.ld_global(x, ad, 0);
+    b2.ld_global(y, ad, 4);
+    b2.iadd(x, x, Src::Reg(y));
+    b2.buf_addr(ad, 1, g, 0);
+    b2.st_global(x, ad, 0);
+    b2.exit();
+    let k2 = Kernel::new(
+        b2.build().unwrap(),
+        LaunchConfig::linear(4, 64),
+        vec![bsq as u32, c as u32],
+    );
+
+    run(&mut gpu, &k1, SchedulerKind::Gto);
+    run(&mut gpu, &k2, SchedulerKind::Pro);
+    for i in 0..(n / 2) as u64 {
+        let e = (2 * i as u32) * (2 * i as u32) + (2 * i as u32 + 1) * (2 * i as u32 + 1);
+        assert_eq!(gpu.gmem.read(c + i * 4), e, "pair {i}");
+    }
+}
+
+#[test]
+fn barrier_kernel_correct_under_every_scheduler() {
+    // Block-wide max via shared memory: needs real barrier semantics.
+    let mut b = ProgramBuilder::new("block_max");
+    let sh = b.shared_alloc(64 * 4);
+    let (g, tid, ad, v, o, idx) = (b.reg(), b.reg(), b.reg(), b.reg(), b.reg(), b.reg());
+    let p = b.pred();
+    b.global_tid(g);
+    b.mov(tid, Src::Special(Special::Tid));
+    b.buf_addr(ad, 0, g, 0);
+    b.ld_global(v, ad, 0);
+    b.imad(ad, tid, Src::Imm(4), Src::Imm(sh));
+    b.st_shared(v, ad, 0);
+    let mut stride = 32u32;
+    while stride >= 1 {
+        b.bar();
+        b.setp(CmpOp::Lt, Ty::S32, p, tid, Src::Imm(stride));
+        b.if_then(p, true, |b| {
+            b.imad(ad, tid, Src::Imm(4), Src::Imm(sh));
+            b.ld_shared(v, ad, 0);
+            b.ld_shared(o, ad, (stride * 4) as i32);
+            b.alu(pro_sim::isa::AluOp::IMax, v, v, o, Src::Imm(0));
+            b.st_shared(v, ad, 0);
+        });
+        stride /= 2;
+    }
+    b.bar();
+    b.setp(CmpOp::Eq, Ty::S32, p, tid, Src::Imm(0));
+    b.if_then(p, true, |b| {
+        b.mov(ad, Src::Imm(sh));
+        b.ld_shared(v, ad, 0);
+        b.mov(idx, Src::Special(Special::Ctaid));
+        b.buf_addr(ad, 1, idx, 0);
+        b.st_global(v, ad, 0);
+    });
+    b.exit();
+    let program = b.build().unwrap();
+
+    let blocks = 12u32;
+    let data: Vec<u32> = (0..blocks * 64)
+        .map(|i| (i.wrapping_mul(2654435761) >> 8) % 100_000)
+        .collect();
+    let expect: Vec<u32> = (0..blocks as usize)
+        .map(|blk| *data[blk * 64..(blk + 1) * 64].iter().max().unwrap())
+        .collect();
+
+    for sched in SchedulerKind::ALL {
+        let mut gpu = Gpu::new(GpuConfig::small(2), 4 << 20);
+        let in_base = gpu.gmem.alloc_init(&data);
+        let out_base = gpu.gmem.alloc(blocks as u64 * 4);
+        let k = Kernel::new(
+            program.clone(),
+            LaunchConfig::linear(blocks, 64),
+            vec![in_base as u32, out_base as u32],
+        );
+        run(&mut gpu, &k, sched);
+        for (i, &e) in expect.iter().enumerate() {
+            assert_eq!(
+                gpu.gmem.read(out_base + i as u64 * 4),
+                e,
+                "{sched} block {i}"
+            );
+        }
+    }
+}
+
+#[test]
+fn grid_of_one_thread_block_works() {
+    let mut b = ProgramBuilder::new("tiny");
+    let (g, ad) = (b.reg(), b.reg());
+    b.global_tid(g);
+    b.buf_addr(ad, 0, g, 0);
+    b.st_global(g, ad, 0);
+    b.exit();
+    let mut gpu = Gpu::new(GpuConfig::gtx480(), 1 << 20);
+    let base = gpu.gmem.alloc(32 * 4);
+    let k = Kernel::new(
+        b.build().unwrap(),
+        LaunchConfig::linear(1, 32),
+        vec![base as u32],
+    );
+    let r = run(&mut gpu, &k, SchedulerKind::Pro);
+    // Only one SM ever has work; everything else idles.
+    assert_eq!(gpu.gmem.read(base + 31 * 4), 31);
+    assert!(r.sm.idle > 0);
+}
+
+#[test]
+fn partial_warp_block_sizes_are_handled() {
+    // 48 threads per block = 1.5 warps.
+    let mut b = ProgramBuilder::new("partial");
+    let (g, ad) = (b.reg(), b.reg());
+    b.global_tid(g);
+    b.buf_addr(ad, 0, g, 0);
+    b.st_global(g, ad, 0);
+    b.exit();
+    let mut gpu = Gpu::new(GpuConfig::small(2), 1 << 20);
+    let base = gpu.gmem.alloc(10 * 48 * 4);
+    let k = Kernel::new(
+        b.build().unwrap(),
+        LaunchConfig::linear(10, 48),
+        vec![base as u32],
+    );
+    run(&mut gpu, &k, SchedulerKind::Lrr);
+    for i in 0..(10 * 48) as u64 {
+        assert_eq!(gpu.gmem.read(base + i * 4), i as u32);
+    }
+}
+
+#[test]
+fn stats_are_internally_consistent() {
+    let mut b = ProgramBuilder::new("consistency");
+    let (g, ad, v) = (b.reg(), b.reg(), b.reg());
+    b.global_tid(g);
+    b.buf_addr(ad, 0, g, 0);
+    b.ld_global(v, ad, 0);
+    b.iadd(v, v, Src::Imm(3));
+    b.st_global(v, ad, 0);
+    b.exit();
+    let mut gpu = Gpu::new(GpuConfig::small(4), 4 << 20);
+    let base = gpu.gmem.alloc(16 * 128 * 4);
+    let k = Kernel::new(
+        b.build().unwrap(),
+        LaunchConfig::linear(16, 128),
+        vec![base as u32],
+    );
+    let r = run(&mut gpu, &k, SchedulerKind::Tl);
+    // unit_cycles = cycles * units * SMs; issued + stalls = unit_cycles.
+    assert_eq!(r.sm.unit_cycles, r.cycles * 2 * 4);
+    assert_eq!(
+        r.sm.issued + r.sm.idle + r.sm.scoreboard + r.sm.pipeline,
+        r.sm.unit_cycles
+    );
+    // 6 instructions per warp, 4 warps per block, 16 blocks.
+    assert_eq!(r.sm.instructions, 6 * 4 * 16);
+    assert_eq!(r.sm.thread_instructions, r.sm.instructions * 32);
+    // Every load begun completed.
+    assert_eq!(r.mem.loads, r.mem.loads_completed);
+}

@@ -1,0 +1,96 @@
+//! Cross-scheduler invariants: a warp scheduler chooses *when* work runs,
+//! never *what* it computes. Every policy — including the adversarial Fuzz
+//! policy — must drive any race-free kernel to the same functional state
+//! and execute exactly the same dynamic instruction count.
+
+use pro_sim::{Gpu, GpuConfig, SchedulerKind, TraceOptions};
+use pro_workloads::{registry, Workload};
+
+fn tiny_run(w: &Workload, sched: SchedulerKind) -> (pro_sim::RunResult, Vec<u32>) {
+    let mut gpu = Gpu::new(GpuConfig::small(2), 64 << 20);
+    let built = (w.build)(&mut gpu.gmem, 6);
+    let r = gpu
+        .launch(&built.kernel, sched, TraceOptions::default())
+        .unwrap_or_else(|e| panic!("{} under {sched}: {e}", w.kernel));
+    (built.verify)(&gpu.gmem)
+        .unwrap_or_else(|e| panic!("{} under {sched}: {e}", w.kernel));
+    // Snapshot a slice of memory for cross-scheduler comparison.
+    let snap = gpu.gmem.read_slice(0, 4096);
+    (r, snap)
+}
+
+#[test]
+fn dynamic_instruction_count_is_schedule_independent() {
+    for w in [
+        &registry()[0],  // AES
+        &registry()[1],  // BFS (divergent)
+        &registry()[8],  // RAY (divergent loops)
+        &registry()[24], // scalarProd (barriers)
+    ] {
+        let mut counts = Vec::new();
+        for s in SchedulerKind::PAPER {
+            let (r, _) = tiny_run(w, s);
+            counts.push((s, r.sm.instructions, r.sm.thread_instructions));
+        }
+        let (_, i0, t0) = counts[0];
+        for &(s, i, t) in &counts {
+            assert_eq!(i, i0, "{}: {s} executed a different instruction count", w.kernel);
+            assert_eq!(t, t0, "{}: {s} thread-instruction mismatch", w.kernel);
+        }
+    }
+}
+
+#[test]
+fn memory_state_identical_across_all_schedulers() {
+    for w in [&registry()[3], &registry()[14], &registry()[24]] {
+        let mut reference: Option<Vec<u32>> = None;
+        for s in SchedulerKind::ALL {
+            let (_, snap) = tiny_run(w, s);
+            match &reference {
+                None => reference = Some(snap),
+                Some(r) => assert_eq!(r, &snap, "{} diverged under {s}", w.kernel),
+            }
+        }
+    }
+}
+
+#[test]
+fn all_paper_schedulers_complete_every_workload() {
+    for w in registry() {
+        for s in SchedulerKind::PAPER {
+            let (r, _) = tiny_run(&w, s);
+            assert!(r.cycles > 0, "{} under {s}", w.kernel);
+        }
+    }
+}
+
+#[test]
+fn issued_plus_stalls_equals_unit_cycles_for_every_scheduler() {
+    let w = &registry()[0];
+    for s in SchedulerKind::ALL {
+        let (r, _) = tiny_run(w, s);
+        assert_eq!(
+            r.sm.issued + r.sm.idle + r.sm.scoreboard + r.sm.pipeline,
+            r.sm.unit_cycles,
+            "{s}"
+        );
+    }
+}
+
+#[test]
+fn pro_never_loses_to_worst_case_by_an_order_of_magnitude() {
+    // Sanity bound: PRO's cycles stay within 2x of the best baseline on
+    // every workload (the paper's worst PRO slowdown is 10%).
+    for w in registry() {
+        let mut best = u64::MAX;
+        for s in [SchedulerKind::Lrr, SchedulerKind::Gto, SchedulerKind::Tl] {
+            best = best.min(tiny_run(&w, s).0.cycles);
+        }
+        let pro = tiny_run(&w, SchedulerKind::Pro).0.cycles;
+        assert!(
+            pro < best * 2,
+            "{}: PRO {pro} vs best baseline {best}",
+            w.kernel
+        );
+    }
+}
