@@ -1,17 +1,16 @@
-//! Criterion wrapper around the §IV ablation: PRO against its variants
+//! Bench wrapper around the §IV ablation: PRO against its variants
 //! (barrier handling off, finishWait off, slow phase off) on the
 //! barrier-dense kernels where those mechanisms matter most. Prints each
 //! variant's simulated cycles once; `repro ablation` prints the table.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pro_bench::run_cell_with;
+use pro_bench::runner::Runner;
 use pro_core::SchedulerKind;
 use pro_sim::{GpuConfig, TraceOptions};
 use pro_workloads::{registry, Scale};
 
-fn bench_ablation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation");
-    group.sample_size(10);
+fn main() {
+    let mut r = Runner::from_args("ablation");
     let kernels = ["scalarProdGPU", "dynproc_kernel"];
     let scale = Scale::Capped(64);
     let cfg = GpuConfig::small(4);
@@ -26,26 +25,21 @@ fn bench_ablation(c: &mut Criterion) {
             SchedulerKind::ProNoFinish,
             SchedulerKind::ProNoSlowPhase,
         ] {
+            if !r.selected(&format!("{name}/{}", sched.name())) {
+                r.note_skip();
+                continue;
+            }
             let cell = run_cell_with(&w, sched, scale, cfg, TraceOptions::default());
             eprintln!(
                 "[ablation] {name} {sched}: {} simulated cycles",
                 cell.result.cycles
             );
-            group.bench_with_input(
-                BenchmarkId::new(name, sched.name()),
-                &sched,
-                |b, &sched| {
-                    b.iter(|| {
-                        run_cell_with(&w, sched, scale, cfg, TraceOptions::default())
-                            .result
-                            .cycles
-                    })
-                },
-            );
+            r.bench(&format!("{name}/{}", sched.name()), || {
+                run_cell_with(&w, sched, scale, cfg, TraceOptions::default())
+                    .result
+                    .cycles
+            });
         }
     }
-    group.finish();
+    r.finish();
 }
-
-criterion_group!(benches, bench_ablation);
-criterion_main!(benches);

@@ -1,17 +1,16 @@
-//! Criterion wrapper around the Fig. 1 / Fig. 5 experiments: stall
+//! Bench wrapper around the Fig. 1 / Fig. 5 experiments: stall
 //! accounting under the three baseline schedulers plus PRO. Prints each
 //! configuration's Idle/Scoreboard/Pipeline split once; measures simulator
 //! wall time. Use `repro fig1` / `repro fig5` for the full figures.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pro_bench::run_cell_with;
+use pro_bench::runner::Runner;
 use pro_core::SchedulerKind;
 use pro_sim::{GpuConfig, TraceOptions};
 use pro_workloads::{registry, Scale};
 
-fn bench_fig1(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig1");
-    group.sample_size(10);
+fn main() {
+    let mut r = Runner::from_args("fig1");
     // One barrier-heavy, one memory-heavy, one compute-heavy app kernel.
     let kernels = ["bpnn_layerforward", "findK", "sha1_overlap"];
     let scale = Scale::Capped(64);
@@ -27,6 +26,10 @@ fn bench_fig1(c: &mut Criterion) {
             SchedulerKind::Gto,
             SchedulerKind::Pro,
         ] {
+            if !r.selected(&format!("{name}/{}", sched.name())) {
+                r.note_skip();
+                continue;
+            }
             let cell = run_cell_with(&w, sched, scale, cfg, TraceOptions::default());
             let s = &cell.result.sm;
             let tot = (s.idle + s.scoreboard + s.pipeline).max(1) as f64;
@@ -36,21 +39,11 @@ fn bench_fig1(c: &mut Criterion) {
                 100.0 * s.scoreboard as f64 / tot,
                 100.0 * s.pipeline as f64 / tot,
             );
-            group.bench_with_input(
-                BenchmarkId::new(name, sched.name()),
-                &sched,
-                |b, &sched| {
-                    b.iter(|| {
-                        let cell =
-                            run_cell_with(&w, sched, scale, cfg, TraceOptions::default());
-                        cell.result.sm.total_stalls()
-                    })
-                },
-            );
+            r.bench(&format!("{name}/{}", sched.name()), || {
+                let cell = run_cell_with(&w, sched, scale, cfg, TraceOptions::default());
+                cell.result.sm.total_stalls()
+            });
         }
     }
-    group.finish();
+    r.finish();
 }
-
-criterion_group!(benches, bench_fig1);
-criterion_main!(benches);

@@ -1,19 +1,18 @@
-//! Criterion wrapper around the Fig. 4 experiment: simulate representative
+//! Bench wrapper around the Fig. 4 experiment: simulate representative
 //! Table II kernels under each of the paper's four schedulers. The
 //! measured quantity is simulator wall time; the interesting output — each
 //! run's simulated cycle count — is printed once per configuration so a
 //! bench run doubles as a speedup spot-check. Use `repro fig4` for the
 //! full table.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pro_bench::run_cell_with;
+use pro_bench::runner::Runner;
 use pro_core::SchedulerKind;
 use pro_sim::{GpuConfig, TraceOptions};
 use pro_workloads::{registry, Scale};
 
-fn bench_fig4(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig4");
-    group.sample_size(10);
+fn main() {
+    let mut r = Runner::from_args("fig4");
     let kernels = ["aesEncrypt128", "laplace3d", "scalarProdGPU", "render"];
     let scale = Scale::Capped(64);
     let cfg = GpuConfig::small(4);
@@ -23,27 +22,22 @@ fn bench_fig4(c: &mut Criterion) {
             .find(|w| w.kernel == name)
             .expect("kernel");
         for sched in SchedulerKind::PAPER {
+            if !r.selected(&format!("{name}/{}", sched.name())) {
+                r.note_skip();
+                continue;
+            }
             // Print the simulated-cycle result once, outside measurement.
             let cell = run_cell_with(&w, sched, scale, cfg, TraceOptions::default());
             eprintln!(
                 "[fig4] {name} {sched}: {} simulated cycles",
                 cell.result.cycles
             );
-            group.bench_with_input(
-                BenchmarkId::new(name, sched.name()),
-                &sched,
-                |b, &sched| {
-                    b.iter(|| {
-                        run_cell_with(&w, sched, scale, cfg, TraceOptions::default())
-                            .result
-                            .cycles
-                    })
-                },
-            );
+            r.bench(&format!("{name}/{}", sched.name()), || {
+                run_cell_with(&w, sched, scale, cfg, TraceOptions::default())
+                    .result
+                    .cycles
+            });
         }
     }
-    group.finish();
+    r.finish();
 }
-
-criterion_group!(benches, bench_fig4);
-criterion_main!(benches);

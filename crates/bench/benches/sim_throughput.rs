@@ -1,47 +1,51 @@
 //! Microbenchmarks of the simulator's own hot paths — the overhead budget
 //! that keeps the full Table II sweep tractable: cache lookups, FR-FCFS
-//! arbitration, warp functional execution, and the per-cycle ordering cost
-//! of each scheduling policy (PRO's sorting is the paper's "few tens of
-//! cycles" hardware claim; here it is nanoseconds of host time).
+//! arbitration, and the per-cycle ordering cost of each scheduling policy
+//! (PRO's sorting is the paper's "few tens of cycles" hardware claim; here
+//! it is nanoseconds of host time).
+//!
+//! These inner loops are sub-microsecond, so each timed iteration batches
+//! `BATCH` operations and the reported time is per batch.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pro_bench::runner::Runner;
 use pro_core::{SchedulerKind, SchedView, TbState, WarpState};
 use pro_mem::{Cache, CacheConfig, DramChannel, DramConfig};
 use std::hint::black_box;
 
-fn bench_cache(c: &mut Criterion) {
-    let mut group = c.benchmark_group("components");
-    group.bench_function("l1_hit_lookup", |b| {
-        let mut cache: Cache<u64> = Cache::new(CacheConfig::l1_16k());
-        for line in 0..64u64 {
-            cache.access(line, 0);
-            cache.fill(line);
-        }
-        let mut i = 0u64;
-        b.iter(|| {
+/// Operations per timed iteration for the component microbenches.
+const BATCH: u32 = 10_000;
+
+fn bench_cache(r: &mut Runner) {
+    let mut cache: Cache<u64> = Cache::new(CacheConfig::l1_16k());
+    for line in 0..64u64 {
+        cache.access(line, 0);
+        cache.fill(line);
+    }
+    let mut i = 0u64;
+    r.bench("l1_hit_lookup_x10k", || {
+        for _ in 0..BATCH {
             i = (i + 1) % 64;
-            black_box(cache.access(i, 0))
-        });
+            black_box(cache.access(i, 0));
+        }
     });
-    group.bench_function("dram_frfcfs_tick", |b| {
-        let mut chan: DramChannel<u32> = DramChannel::new(DramConfig::default());
-        let mut now = 0u64;
-        let mut line = 0u64;
-        b.iter(|| {
+
+    let mut chan: DramChannel<u32> = DramChannel::new(DramConfig::default());
+    let mut now = 0u64;
+    let mut line = 0u64;
+    r.bench("dram_frfcfs_tick_x10k", || {
+        for _ in 0..BATCH {
             if chan.can_accept() {
                 line = line.wrapping_add(97);
                 chan.push(now, line, 0);
             }
-            let r = chan.tick(now);
+            let res = chan.tick(now);
             now += 1;
-            black_box(r)
-        });
+            black_box(res);
+        }
     });
-    group.finish();
 }
 
-fn bench_policy_order(c: &mut Criterion) {
-    let mut group = c.benchmark_group("policy_order");
+fn bench_policy_order(r: &mut Runner) {
     // 8 TBs x 6 warps = 48 warps, the full Fermi complement.
     let warps: Vec<WarpState> = (0..48)
         .map(|w| WarpState {
@@ -82,8 +86,8 @@ fn bench_policy_order(c: &mut Criterion) {
         }
         let mut out = Vec::with_capacity(48);
         let mut cycle = 0u64;
-        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &(), |b, _| {
-            b.iter(|| {
+        r.bench(&format!("policy_order/{}_x10k", kind.name()), || {
+            for _ in 0..BATCH {
                 cycle += 1;
                 let view = SchedView {
                     cycle,
@@ -93,12 +97,15 @@ fn bench_policy_order(c: &mut Criterion) {
                 };
                 policy.begin_cycle(&view);
                 policy.order(0, &view, &candidates, &mut out);
-                black_box(out.len())
-            })
+                black_box(out.len());
+            }
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_cache, bench_policy_order);
-criterion_main!(benches);
+fn main() {
+    let mut r = Runner::from_args("components");
+    bench_cache(&mut r);
+    bench_policy_order(&mut r);
+    r.finish();
+}

@@ -27,10 +27,12 @@
 //! | `repro svg`        | SVG renderings of Fig. 2 and Fig. 4 |
 //! | `repro json`       | machine-readable dump of every (kernel × sched) run |
 //!
-//! Criterion benches (`cargo bench`) wrap the same runners for statistical
-//! timing of the simulator itself.
+//! The bench targets (`cargo bench`) wrap the same runners on the in-repo
+//! fixed-iteration [`runner`] for wall-clock timing of the simulator
+//! itself — no external benchmarking framework is involved.
 
 pub mod json;
+pub mod runner;
 pub mod svg;
 
 use pro_core::SchedulerKind;

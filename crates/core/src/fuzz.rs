@@ -3,31 +3,26 @@
 //! of its candidates) must drive every kernel to completion with identical
 //! functional results. Fuzz deliberately produces adversarial orders.
 
+use crate::rng::SplitMix64;
 use crate::{IssueInfo, SchedView, WarpScheduler, WarpSlot};
 
-/// Deterministic chaos: orders warps by a per-cycle xorshift hash.
+/// Deterministic chaos: orders warps by a per-cycle [`SplitMix64`] stream.
 #[derive(Debug)]
 pub struct Fuzz {
-    state: u64,
+    rng: SplitMix64,
 }
 
 impl Fuzz {
     /// Seeded construction — the same seed reproduces the same schedule.
     pub fn new(seed: u64) -> Self {
         Fuzz {
-            state: seed | 1, // xorshift must not start at 0
+            rng: SplitMix64::new(seed),
         }
     }
 
     #[inline]
     fn next(&mut self) -> u64 {
-        // xorshift64*
-        let mut x = self.state;
-        x ^= x >> 12;
-        x ^= x << 25;
-        x ^= x >> 27;
-        self.state = x;
-        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        self.rng.next_u64()
     }
 }
 

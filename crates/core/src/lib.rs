@@ -24,12 +24,20 @@
 //! so policies can maintain internal structures — PRO's TB state machine
 //! lives entirely behind these hooks.
 
+//!
+//! Two substrate-independent utility modules also live here so the whole
+//! workspace stays free of external dependencies: [`rng`] (the
+//! deterministic PRNG behind every stochastic input) and [`prop`] (the
+//! in-repo property-testing harness).
+
 pub mod adaptive;
 pub mod fuzz;
 pub mod gto;
 pub mod lrr;
 pub mod owl;
 pub mod pro;
+pub mod prop;
+pub mod rng;
 pub mod tl;
 
 pub use adaptive::{AdaptiveConfig, ProAdaptive};

@@ -1,11 +1,12 @@
 //! Property-based tests of the scheduling policies: every policy's `order`
 //! must be a permutation of its candidates for arbitrary machine states,
-//! and PRO's priority bands must hold for arbitrary event histories.
+//! and PRO's priority bands must hold for arbitrary event histories. Runs
+//! on the in-repo `pro_core::prop` harness.
 
-use proptest::prelude::*;
+use pro_core::prop::{any, check, vec_of, Config, Strategy, StrategyExt};
 use pro_core::{
-    IssueInfo, Pro, ProConfig, SchedView, SchedulerKind, TbState, WarpScheduler, WarpSlot,
-    WarpState,
+    prop_assert, prop_assert_eq, prop_assume, IssueInfo, Pro, ProConfig, SchedView, SchedulerKind,
+    TbState, WarpScheduler, WarpSlot, WarpState,
 };
 
 const WARPS_PER_TB: usize = 4;
@@ -38,9 +39,9 @@ impl Fixture {
 /// blocked/barrier flags.
 fn arb_fixture() -> impl Strategy<Value = Fixture> {
     (
-        1usize..=6,
-        proptest::collection::vec((any::<u16>(), any::<bool>(), 0u8..4), 24),
-        proptest::collection::vec(any::<u16>(), 6),
+        1usize..7,
+        vec_of((any::<u16>(), any::<bool>(), 0u8..4), 24..25),
+        vec_of(any::<u16>(), 6..7),
         any::<bool>(),
         0u64..10_000,
     )
@@ -80,128 +81,139 @@ fn arb_fixture() -> impl Strategy<Value = Fixture> {
         })
 }
 
-proptest! {
-    #[test]
-    fn every_policy_orders_a_permutation(f in arb_fixture(), subset_mask: u32) {
-        for kind in SchedulerKind::ALL {
-            let mut policy = kind.build(f.warps.len(), f.tbs.len(), 2);
-            for t in 0..f.tbs.len() {
-                policy.on_tb_launch(t, &f.view());
+#[test]
+fn every_policy_orders_a_permutation() {
+    check(
+        Config::default(),
+        (arb_fixture(), any::<u32>()),
+        |(f, subset_mask)| {
+            for kind in SchedulerKind::ALL {
+                let mut policy = kind.build(f.warps.len(), f.tbs.len(), 2);
+                for t in 0..f.tbs.len() {
+                    policy.on_tb_launch(t, &f.view());
+                }
+                policy.begin_cycle(&f.view());
+                // A random subset of live slots as candidates.
+                let cands: Vec<WarpSlot> = f
+                    .live_slots()
+                    .into_iter()
+                    .filter(|&w| subset_mask & (1 << (w % 32)) != 0)
+                    .collect();
+                let mut out = Vec::new();
+                for unit in 0..2 {
+                    policy.order(unit, &f.view(), &cands, &mut out);
+                    let mut sorted = out.clone();
+                    sorted.sort_unstable();
+                    let mut expect = cands.clone();
+                    expect.sort_unstable();
+                    prop_assert_eq!(&sorted, &expect, "{} unit {}", kind.name(), unit);
+                }
             }
-            policy.begin_cycle(&f.view());
-            // A random subset of live slots as candidates.
-            let cands: Vec<WarpSlot> = f
-                .live_slots()
-                .into_iter()
-                .filter(|&w| subset_mask & (1 << (w % 32)) != 0)
-                .collect();
-            let mut out = Vec::new();
-            for unit in 0..2 {
-                policy.order(unit, &f.view(), &cands, &mut out);
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn policies_survive_random_event_storms() {
+    check(
+        Config::default(),
+        (arb_fixture(), vec_of((0u8..5, 0usize..24), 0..48)),
+        |(f0, events)| {
+            for kind in SchedulerKind::ALL {
+                let mut f = f0.clone();
+                let mut policy = kind.build(f.warps.len(), f.tbs.len(), 2);
+                for t in 0..f.tbs.len() {
+                    policy.on_tb_launch(t, &f.view());
+                }
+                for (ev, x) in events {
+                    let slot = x % f.warps.len();
+                    let tb = f.warps[slot].tb_slot;
+                    match ev {
+                        0 => {
+                            let view = f.view();
+                            policy.begin_cycle(&view);
+                        }
+                        1 => {
+                            // barrier arrive
+                            if !f.warps[slot].at_barrier && !f.warps[slot].finished {
+                                f.warps[slot].at_barrier = true;
+                                f.tbs[tb].warps_at_barrier += 1;
+                                policy.on_barrier_arrive(slot, tb, &f.view());
+                                // release if all parked
+                                if f.tbs[tb].warps_at_barrier + f.tbs[tb].warps_finished
+                                    == f.tbs[tb].num_warps
+                                {
+                                    for w in 0..f.warps.len() {
+                                        if f.warps[w].tb_slot == tb {
+                                            f.warps[w].at_barrier = false;
+                                        }
+                                    }
+                                    f.tbs[tb].warps_at_barrier = 0;
+                                    policy.on_barrier_release(tb, &f.view());
+                                }
+                            }
+                        }
+                        2 => {
+                            // finish a warp
+                            if !f.warps[slot].finished && !f.warps[slot].at_barrier {
+                                f.warps[slot].finished = true;
+                                f.tbs[tb].warps_finished += 1;
+                                policy.on_warp_finish(slot, tb, &f.view());
+                                if f.tbs[tb].warps_finished == f.tbs[tb].num_warps {
+                                    policy.on_tb_finish(tb, &f.view());
+                                    for w in 0..f.warps.len() {
+                                        if f.warps[w].tb_slot == tb {
+                                            f.warps[w] = WarpState::default();
+                                        }
+                                    }
+                                    f.tbs[tb] = TbState::default();
+                                }
+                            }
+                        }
+                        3 => {
+                            // issue event + progress bump
+                            if !f.warps[slot].finished && f.warps[slot].active {
+                                f.warps[slot].progress += 32;
+                                f.tbs[tb].progress += 32;
+                                policy.on_issue(
+                                    (slot % 2) as u32,
+                                    slot,
+                                    IssueInfo {
+                                        active_threads: 32,
+                                        is_global_load: *x % 3 == 0,
+                                    },
+                                    &f.view(),
+                                );
+                            }
+                        }
+                        _ => {
+                            f.cycle += 500;
+                        }
+                    }
+                }
+                // After any storm, ordering must still be a valid permutation.
+                policy.begin_cycle(&f.view());
+                let cands = f.live_slots();
+                let mut out = Vec::new();
+                policy.order(0, &f.view(), &cands, &mut out);
                 let mut sorted = out.clone();
                 sorted.sort_unstable();
                 let mut expect = cands.clone();
                 expect.sort_unstable();
-                prop_assert_eq!(&sorted, &expect, "{} unit {}", kind.name(), unit);
+                prop_assert_eq!(sorted, expect, "{}", kind.name());
             }
-        }
-    }
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn policies_survive_random_event_storms(
-        f in arb_fixture(),
-        events in proptest::collection::vec((0u8..5, 0usize..24), 0..48)
-    ) {
-        for kind in SchedulerKind::ALL {
-            let mut f = f.clone();
-            let mut policy = kind.build(f.warps.len(), f.tbs.len(), 2);
-            for t in 0..f.tbs.len() {
-                policy.on_tb_launch(t, &f.view());
-            }
-            for (ev, x) in &events {
-                let slot = x % f.warps.len();
-                let tb = f.warps[slot].tb_slot;
-                match ev {
-                    0 => {
-                        let view = f.view();
-                        policy.begin_cycle(&view);
-                    }
-                    1 => {
-                        // barrier arrive
-                        if !f.warps[slot].at_barrier && !f.warps[slot].finished {
-                            f.warps[slot].at_barrier = true;
-                            f.tbs[tb].warps_at_barrier += 1;
-                            policy.on_barrier_arrive(slot, tb, &f.view());
-                            // release if all parked
-                            if f.tbs[tb].warps_at_barrier + f.tbs[tb].warps_finished
-                                == f.tbs[tb].num_warps
-                            {
-                                for w in 0..f.warps.len() {
-                                    if f.warps[w].tb_slot == tb {
-                                        f.warps[w].at_barrier = false;
-                                    }
-                                }
-                                f.tbs[tb].warps_at_barrier = 0;
-                                policy.on_barrier_release(tb, &f.view());
-                            }
-                        }
-                    }
-                    2 => {
-                        // finish a warp
-                        if !f.warps[slot].finished && !f.warps[slot].at_barrier {
-                            f.warps[slot].finished = true;
-                            f.tbs[tb].warps_finished += 1;
-                            policy.on_warp_finish(slot, tb, &f.view());
-                            if f.tbs[tb].warps_finished == f.tbs[tb].num_warps {
-                                policy.on_tb_finish(tb, &f.view());
-                                for w in 0..f.warps.len() {
-                                    if f.warps[w].tb_slot == tb {
-                                        f.warps[w] = WarpState::default();
-                                    }
-                                }
-                                f.tbs[tb] = TbState::default();
-                            }
-                        }
-                    }
-                    3 => {
-                        // issue event + progress bump
-                        if !f.warps[slot].finished && f.warps[slot].active {
-                            f.warps[slot].progress += 32;
-                            f.tbs[tb].progress += 32;
-                            policy.on_issue(
-                                (slot % 2) as u32,
-                                slot,
-                                IssueInfo {
-                                    active_threads: 32,
-                                    is_global_load: *x % 3 == 0,
-                                },
-                                &f.view(),
-                            );
-                        }
-                    }
-                    _ => {
-                        f.cycle += 500;
-                    }
-                }
-            }
-            // After any storm, ordering must still be a valid permutation.
-            policy.begin_cycle(&f.view());
-            let cands = f.live_slots();
-            let mut out = Vec::new();
-            policy.order(0, &f.view(), &cands, &mut out);
-            let mut sorted = out.clone();
-            sorted.sort_unstable();
-            let mut expect = cands.clone();
-            expect.sort_unstable();
-            prop_assert_eq!(sorted, expect, "{}", kind.name());
-        }
-    }
-
-    #[test]
-    fn pro_priority_bands_hold(f in arb_fixture()) {
-        prop_assume!(f.tbs.len() >= 3);
-        prop_assume!(f.fast);
-        let mut f = f;
+#[test]
+fn pro_priority_bands_hold() {
+    check(Config::default(), arb_fixture(), |f0: &Fixture| {
+        prop_assume!(f0.tbs.len() >= 3);
+        prop_assume!(f0.fast);
+        let mut f = f0.clone();
         let mut pro = Pro::new(f.warps.len(), f.tbs.len(), ProConfig::default());
         for t in 0..f.tbs.len() {
             pro.on_tb_launch(t, &f.view());
@@ -236,10 +248,13 @@ proptest! {
                 band(pair[1])
             );
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn pro_trace_lists_each_live_tb_exactly_once(f in arb_fixture()) {
+#[test]
+fn pro_trace_lists_each_live_tb_exactly_once() {
+    check(Config::default(), arb_fixture(), |f: &Fixture| {
         let mut pro = Pro::new(f.warps.len(), f.tbs.len(), ProConfig::default());
         for t in 0..f.tbs.len() {
             pro.on_tb_launch(t, &f.view());
@@ -250,7 +265,8 @@ proptest! {
         sorted.sort_unstable();
         let expect: Vec<u32> = (0..f.tbs.len() as u32).collect();
         prop_assert_eq!(sorted, expect);
-    }
+        Ok(())
+    });
 }
 
 /// Fig. 3 conformance: drive PRO with random (but protocol-legal) event
@@ -259,7 +275,6 @@ proptest! {
 mod fig3_conformance {
     use super::*;
     use pro_core::pro::TbClass;
-
 
     fn legal(from: TbClass, to: TbClass, fast: bool) -> bool {
         use TbClass::*;
@@ -286,137 +301,140 @@ mod fig3_conformance {
         }
     }
 
-    proptest! {
-        #[test]
-        fn class_changes_follow_the_diagram(
-            events in proptest::collection::vec((0u8..4, 0usize..16, any::<bool>()), 0..64)
-        ) {
-            const NTBS: usize = 4;
-            let mut f = crate::Fixture {
-                warps: vec![WarpState::default(); NTBS * WARPS_PER_TB],
-                tbs: vec![TbState::default(); NTBS],
-                fast: true,
-                cycle: 0,
-            };
-            for t in 0..NTBS {
-                f.tbs[t] = TbState {
-                    occupied: true,
-                    global_index: t as u32,
-                    progress: 0,
-                    num_warps: WARPS_PER_TB as u32,
-                    warps_at_barrier: 0,
-                    warps_finished: 0,
-                    launched_at: 0,
+    #[test]
+    fn class_changes_follow_the_diagram() {
+        check(
+            Config::default(),
+            vec_of((0u8..4, 0usize..16, any::<bool>()), 0..64),
+            |events: &Vec<(u8, usize, bool)>| {
+                const NTBS: usize = 4;
+                let mut f = Fixture {
+                    warps: vec![WarpState::default(); NTBS * WARPS_PER_TB],
+                    tbs: vec![TbState::default(); NTBS],
+                    fast: true,
+                    cycle: 0,
                 };
-                for w in 0..WARPS_PER_TB {
-                    f.warps[t * WARPS_PER_TB + w] = WarpState {
-                        active: true,
-                        tb_slot: t,
-                        index_in_tb: w as u32,
+                for t in 0..NTBS {
+                    f.tbs[t] = TbState {
+                        occupied: true,
+                        global_index: t as u32,
                         progress: 0,
-                        at_barrier: false,
-                        finished: false,
-                        blocked_on_longlat: false,
+                        num_warps: WARPS_PER_TB as u32,
+                        warps_at_barrier: 0,
+                        warps_finished: 0,
+                        launched_at: 0,
                     };
-                }
-            }
-            let mut pro = Pro::new(f.warps.len(), NTBS, ProConfig::default());
-            let mut classes = [TbClass::Empty; NTBS];
-            for (t, c) in classes.iter_mut().enumerate() {
-                pro.on_tb_launch(t, &f.view());
-                let new = pro.tb_class(t);
-                prop_assert!(legal(*c, new, f.fast), "launch {:?} -> {:?}", *c, new);
-                *c = new;
-            }
-            let check = |pro: &Pro, classes: &mut [TbClass; NTBS], fast: bool| {
-                for (t, c) in classes.iter_mut().enumerate() {
-                    let new = pro.tb_class(t);
-                    if !legal(*c, new, fast) {
-                        return Err(format!("illegal {:?} -> {:?} (fast={fast})", *c, new));
+                    for w in 0..WARPS_PER_TB {
+                        f.warps[t * WARPS_PER_TB + w] = WarpState {
+                            active: true,
+                            tb_slot: t,
+                            index_in_tb: w as u32,
+                            progress: 0,
+                            at_barrier: false,
+                            finished: false,
+                            blocked_on_longlat: false,
+                        };
                     }
+                }
+                let mut pro = Pro::new(f.warps.len(), NTBS, ProConfig::default());
+                let mut classes = [TbClass::Empty; NTBS];
+                for (t, c) in classes.iter_mut().enumerate() {
+                    pro.on_tb_launch(t, &f.view());
+                    let new = pro.tb_class(t);
+                    prop_assert!(legal(*c, new, f.fast), "launch {:?} -> {:?}", *c, new);
                     *c = new;
                 }
-                Ok(())
-            };
-            for (ev, x, phase_toggle) in events {
-                // Phase can only move fast → slow (TBs drain from the global
-                // scheduler); once slow it stays slow for this kernel. The
-                // SM contract guarantees begin_cycle observes the new phase
-                // before any event of that cycle is delivered.
-                if phase_toggle && f.fast {
-                    f.fast = false;
-                    pro.begin_cycle(&f.view());
-                    if let Err(e) = check(&pro, &mut classes, f.fast) {
-                        prop_assert!(false, "at phase transition: {e}");
+                let verify = |pro: &Pro, classes: &mut [TbClass; NTBS], fast: bool| {
+                    for (t, c) in classes.iter_mut().enumerate() {
+                        let new = pro.tb_class(t);
+                        if !legal(*c, new, fast) {
+                            return Err(format!("illegal {:?} -> {:?} (fast={fast})", *c, new));
+                        }
+                        *c = new;
                     }
-                }
-                let slot = x % f.warps.len();
-                let tb = f.warps[slot].tb_slot;
-                if !f.tbs[tb].occupied {
-                    continue;
-                }
-                match ev {
-                    0 => {
-                        f.cycle += 700;
+                    Ok(())
+                };
+                for &(ev, x, phase_toggle) in events {
+                    // Phase can only move fast → slow (TBs drain from the global
+                    // scheduler); once slow it stays slow for this kernel. The
+                    // SM contract guarantees begin_cycle observes the new phase
+                    // before any event of that cycle is delivered.
+                    if phase_toggle && f.fast {
+                        f.fast = false;
                         pro.begin_cycle(&f.view());
-                    }
-                    1 => {
-                        if !f.warps[slot].at_barrier && !f.warps[slot].finished {
-                            f.warps[slot].at_barrier = true;
-                            f.tbs[tb].warps_at_barrier += 1;
-                            pro.on_barrier_arrive(slot, tb, &f.view());
-                            if f.tbs[tb].warps_at_barrier + f.tbs[tb].warps_finished
-                                == f.tbs[tb].num_warps
-                            {
-                                for w in 0..f.warps.len() {
-                                    if f.warps[w].tb_slot == tb {
-                                        f.warps[w].at_barrier = false;
-                                    }
-                                }
-                                f.tbs[tb].warps_at_barrier = 0;
-                                pro.on_barrier_release(tb, &f.view());
-                            }
+                        if let Err(e) = verify(&pro, &mut classes, f.fast) {
+                            prop_assert!(false, "at phase transition: {e}");
                         }
                     }
-                    2 => {
-                        if !f.warps[slot].finished && !f.warps[slot].at_barrier {
-                            f.warps[slot].finished = true;
-                            f.tbs[tb].warps_finished += 1;
-                            pro.on_warp_finish(slot, tb, &f.view());
-                            if f.tbs[tb].warps_finished == f.tbs[tb].num_warps {
-                                prop_assert_eq!(pro.tb_class(tb), TbClass::Finished);
-                                pro.on_tb_finish(tb, &f.view());
-                                for w in 0..f.warps.len() {
-                                    if f.warps[w].tb_slot == tb {
-                                        f.warps[w] = WarpState::default();
-                                    }
-                                }
-                                f.tbs[tb] = TbState::default();
-                            } else if f.tbs[tb].warps_at_barrier > 0
-                                && f.tbs[tb].warps_at_barrier + f.tbs[tb].warps_finished
+                    let slot = x % f.warps.len();
+                    let tb = f.warps[slot].tb_slot;
+                    if !f.tbs[tb].occupied {
+                        continue;
+                    }
+                    match ev {
+                        0 => {
+                            f.cycle += 700;
+                            pro.begin_cycle(&f.view());
+                        }
+                        1 => {
+                            if !f.warps[slot].at_barrier && !f.warps[slot].finished {
+                                f.warps[slot].at_barrier = true;
+                                f.tbs[tb].warps_at_barrier += 1;
+                                pro.on_barrier_arrive(slot, tb, &f.view());
+                                if f.tbs[tb].warps_at_barrier + f.tbs[tb].warps_finished
                                     == f.tbs[tb].num_warps
-                            {
-                                for w in 0..f.warps.len() {
-                                    if f.warps[w].tb_slot == tb {
-                                        f.warps[w].at_barrier = false;
+                                {
+                                    for w in 0..f.warps.len() {
+                                        if f.warps[w].tb_slot == tb {
+                                            f.warps[w].at_barrier = false;
+                                        }
                                     }
+                                    f.tbs[tb].warps_at_barrier = 0;
+                                    pro.on_barrier_release(tb, &f.view());
                                 }
-                                f.tbs[tb].warps_at_barrier = 0;
-                                pro.on_barrier_release(tb, &f.view());
+                            }
+                        }
+                        2 => {
+                            if !f.warps[slot].finished && !f.warps[slot].at_barrier {
+                                f.warps[slot].finished = true;
+                                f.tbs[tb].warps_finished += 1;
+                                pro.on_warp_finish(slot, tb, &f.view());
+                                if f.tbs[tb].warps_finished == f.tbs[tb].num_warps {
+                                    prop_assert_eq!(pro.tb_class(tb), TbClass::Finished);
+                                    pro.on_tb_finish(tb, &f.view());
+                                    for w in 0..f.warps.len() {
+                                        if f.warps[w].tb_slot == tb {
+                                            f.warps[w] = WarpState::default();
+                                        }
+                                    }
+                                    f.tbs[tb] = TbState::default();
+                                } else if f.tbs[tb].warps_at_barrier > 0
+                                    && f.tbs[tb].warps_at_barrier + f.tbs[tb].warps_finished
+                                        == f.tbs[tb].num_warps
+                                {
+                                    for w in 0..f.warps.len() {
+                                        if f.warps[w].tb_slot == tb {
+                                            f.warps[w].at_barrier = false;
+                                        }
+                                    }
+                                    f.tbs[tb].warps_at_barrier = 0;
+                                    pro.on_barrier_release(tb, &f.view());
+                                }
+                            }
+                        }
+                        _ => {
+                            if f.warps[slot].active && !f.warps[slot].finished {
+                                f.warps[slot].progress += 32;
+                                f.tbs[tb].progress += 32;
                             }
                         }
                     }
-                    _ => {
-                        if f.warps[slot].active && !f.warps[slot].finished {
-                            f.warps[slot].progress += 32;
-                            f.tbs[tb].progress += 32;
-                        }
+                    if let Err(e) = verify(&pro, &mut classes, f.fast) {
+                        prop_assert!(false, "{e}");
                     }
                 }
-                if let Err(e) = check(&pro, &mut classes, f.fast) {
-                    prop_assert!(false, "{e}");
-                }
-            }
-        }
+                Ok(())
+            },
+        );
     }
 }

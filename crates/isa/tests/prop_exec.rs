@@ -1,47 +1,73 @@
 //! Property-based tests for VPTX functional semantics and the
-//! assembler/disassembler pair.
+//! assembler/disassembler pair, on the in-repo `pro_core::prop` harness.
 
-use proptest::prelude::*;
+use pro_core::prop::{any, check, one_of, vec_of, Config, Just, Strategy, StrategyExt};
+use pro_core::{prop_assert, prop_assert_eq, prop_assume};
 use pro_isa::exec::{eval_alu, eval_atom, eval_cmp};
 use pro_isa::{asm, AluOp, AtomOp, CmpOp, Instr, MemSpace, Pred, Program, Reg, Src, Ty};
 
-proptest! {
-    #[test]
-    fn iadd_commutes(a: u32, b: u32) {
-        prop_assert_eq!(eval_alu(AluOp::IAdd, a, b, 0), eval_alu(AluOp::IAdd, b, a, 0));
-    }
+#[test]
+fn iadd_commutes() {
+    check(Config::default(), (any::<u32>(), any::<u32>()), |&(a, b)| {
+        prop_assert_eq!(
+            eval_alu(AluOp::IAdd, a, b, 0),
+            eval_alu(AluOp::IAdd, b, a, 0)
+        );
+        Ok(())
+    });
+}
 
-    #[test]
-    fn imad_is_mul_then_add(a: u32, b: u32, c: u32) {
-        let mul = eval_alu(AluOp::IMul, a, b, 0);
-        let sum = eval_alu(AluOp::IAdd, mul, c, 0);
-        prop_assert_eq!(eval_alu(AluOp::IMad, a, b, c), sum);
-    }
+#[test]
+fn imad_is_mul_then_add() {
+    check(
+        Config::default(),
+        (any::<u32>(), any::<u32>(), any::<u32>()),
+        |&(a, b, c)| {
+            let mul = eval_alu(AluOp::IMul, a, b, 0);
+            let sum = eval_alu(AluOp::IAdd, mul, c, 0);
+            prop_assert_eq!(eval_alu(AluOp::IMad, a, b, c), sum);
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn sub_is_inverse_of_add(a: u32, b: u32) {
+#[test]
+fn sub_is_inverse_of_add() {
+    check(Config::default(), (any::<u32>(), any::<u32>()), |&(a, b)| {
         let s = eval_alu(AluOp::IAdd, a, b, 0);
         prop_assert_eq!(eval_alu(AluOp::ISub, s, b, 0), a);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn min_max_bracket(a: u32, b: u32) {
+#[test]
+fn min_max_bracket() {
+    check(Config::default(), (any::<u32>(), any::<u32>()), |&(a, b)| {
         let lo = eval_alu(AluOp::IMin, a, b, 0) as i32;
         let hi = eval_alu(AluOp::IMax, a, b, 0) as i32;
         prop_assert!(lo <= hi);
         prop_assert!(lo == a as i32 || lo == b as i32);
         prop_assert!(hi == a as i32 || hi == b as i32);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn shifts_match_native_semantics(a: u32, s in 0u32..64) {
+#[test]
+fn shifts_match_native_semantics() {
+    check(Config::default(), (any::<u32>(), 0u32..64), |&(a, s)| {
         prop_assert_eq!(eval_alu(AluOp::Shl, a, s, 0), a.wrapping_shl(s & 31));
         prop_assert_eq!(eval_alu(AluOp::Shr, a, s, 0), a.wrapping_shr(s & 31));
-        prop_assert_eq!(eval_alu(AluOp::Sra, a, s, 0), ((a as i32).wrapping_shr(s & 31)) as u32);
-    }
+        prop_assert_eq!(
+            eval_alu(AluOp::Sra, a, s, 0),
+            ((a as i32).wrapping_shr(s & 31)) as u32
+        );
+        Ok(())
+    });
+}
 
-    #[test]
-    fn comparison_trichotomy_signed(a: u32, b: u32) {
+#[test]
+fn comparison_trichotomy_signed() {
+    check(Config::default(), (any::<u32>(), any::<u32>()), |&(a, b)| {
         let lt = eval_cmp(CmpOp::Lt, Ty::S32, a, b);
         let eq = eval_cmp(CmpOp::Eq, Ty::S32, a, b);
         let gt = eval_cmp(CmpOp::Gt, Ty::S32, a, b);
@@ -49,127 +75,156 @@ proptest! {
         prop_assert_eq!(eval_cmp(CmpOp::Le, Ty::S32, a, b), lt || eq);
         prop_assert_eq!(eval_cmp(CmpOp::Ge, Ty::S32, a, b), gt || eq);
         prop_assert_eq!(eval_cmp(CmpOp::Ne, Ty::S32, a, b), !eq);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn float_ops_are_ieee(a: f32, b: f32) {
+#[test]
+fn float_ops_are_ieee() {
+    check(Config::default(), (any::<f32>(), any::<f32>()), |&(a, b)| {
         prop_assume!(a.is_finite() && b.is_finite());
         let add = f32::from_bits(eval_alu(AluOp::FAdd, a.to_bits(), b.to_bits(), 0));
         prop_assert_eq!(add.to_bits(), (a + b).to_bits());
         let mul = f32::from_bits(eval_alu(AluOp::FMul, a.to_bits(), b.to_bits(), 0));
         prop_assert_eq!(mul.to_bits(), (a * b).to_bits());
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn atom_add_accumulates(init: u32, vals in proptest::collection::vec(any::<u32>(), 0..8)) {
-        let mut cur = init;
-        let mut expect = init;
-        for v in &vals {
-            let (new, old) = eval_atom(AtomOp::Add, cur, *v);
-            prop_assert_eq!(old, cur);
-            cur = new;
-            expect = expect.wrapping_add(*v);
-        }
-        prop_assert_eq!(cur, expect);
-    }
+#[test]
+fn atom_add_accumulates() {
+    check(
+        Config::default(),
+        (any::<u32>(), vec_of(any::<u32>(), 0..8)),
+        |(init, vals)| {
+            let mut cur = *init;
+            let mut expect = *init;
+            for v in vals {
+                let (new, old) = eval_atom(AtomOp::Add, cur, *v);
+                prop_assert_eq!(old, cur);
+                cur = new;
+                expect = expect.wrapping_add(*v);
+            }
+            prop_assert_eq!(cur, expect);
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn atom_exch_returns_previous(seq in proptest::collection::vec(any::<u32>(), 1..8)) {
-        let mut cur = 0u32;
-        for v in &seq {
-            let (new, old) = eval_atom(AtomOp::Exch, cur, *v);
-            prop_assert_eq!(old, cur);
-            prop_assert_eq!(new, *v);
-            cur = new;
-        }
-    }
+#[test]
+fn atom_exch_returns_previous() {
+    check(
+        Config::default(),
+        vec_of(any::<u32>(), 1..8),
+        |seq: &Vec<u32>| {
+            let mut cur = 0u32;
+            for v in seq {
+                let (new, old) = eval_atom(AtomOp::Exch, cur, *v);
+                prop_assert_eq!(old, cur);
+                prop_assert_eq!(new, *v);
+                cur = new;
+            }
+            Ok(())
+        },
+    );
+}
+
+/// Strategy: a random source operand within 8 GPRs / 4 params.
+fn arb_src() -> impl Strategy<Value = Src> {
+    one_of(vec![
+        (0u8..8).prop_map(|r| Src::Reg(Reg(r))).boxed(),
+        any::<u32>().prop_map(Src::Imm).boxed(),
+        (0u8..4).prop_map(Src::Param).boxed(),
+    ])
 }
 
 /// Strategy: a random straight-line instruction (registers within 8 GPRs /
 /// 2 preds so programs always validate).
 fn arb_instr() -> impl Strategy<Value = Instr> {
-    let reg = (0u8..8).prop_map(Reg);
-    let src = prop_oneof![
-        (0u8..8).prop_map(|r| Src::Reg(Reg(r))),
-        any::<u32>().prop_map(Src::Imm),
-        (0u8..4).prop_map(Src::Param),
-    ];
-    prop_oneof![
-        (reg.clone(), src.clone(), src.clone()).prop_map(|(d, a, b)| Instr::Alu {
-            op: AluOp::IAdd,
-            dst: d,
-            a,
-            b,
-            c: Src::Imm(0)
-        }),
-        (reg.clone(), src.clone(), src.clone(), src.clone()).prop_map(|(d, a, b, c)| {
-            Instr::Alu {
+    let reg = || (0u8..8).prop_map(Reg);
+    one_of(vec![
+        (reg(), arb_src(), arb_src())
+            .prop_map(|(d, a, b)| Instr::Alu {
+                op: AluOp::IAdd,
+                dst: d,
+                a,
+                b,
+                c: Src::Imm(0),
+            })
+            .boxed(),
+        (reg(), arb_src(), arb_src(), arb_src())
+            .prop_map(|(d, a, b, c)| Instr::Alu {
                 op: AluOp::IMad,
                 dst: d,
                 a,
                 b,
                 c,
-            }
-        }),
-        (reg.clone(), src.clone(), src.clone()).prop_map(|(d, a, b)| Instr::SetP {
-            cmp: CmpOp::Lt,
-            ty: Ty::S32,
-            dst: Pred(0),
-            a,
-            b
-        }.pick_dst(d)),
-        (reg.clone(), reg.clone(), -64i32..64).prop_map(|(d, a, off)| Instr::Ld {
-            space: MemSpace::Global,
-            dst: d,
-            addr: a,
-            offset: off * 4
-        }),
-        (reg.clone(), reg.clone(), -64i32..64).prop_map(|(s, a, off)| Instr::St {
-            space: MemSpace::Shared,
-            src: s,
-            addr: a,
-            offset: off * 4
-        }),
-        Just(Instr::Nop),
-        Just(Instr::Bar { id: 0 }),
-    ]
+            })
+            .boxed(),
+        (arb_src(), arb_src())
+            .prop_map(|(a, b)| Instr::SetP {
+                cmp: CmpOp::Lt,
+                ty: Ty::S32,
+                dst: Pred(0),
+                a,
+                b,
+            })
+            .boxed(),
+        (reg(), reg(), -64i32..64)
+            .prop_map(|(d, a, off)| Instr::Ld {
+                space: MemSpace::Global,
+                dst: d,
+                addr: a,
+                offset: off * 4,
+            })
+            .boxed(),
+        (reg(), reg(), -64i32..64)
+            .prop_map(|(s, a, off)| Instr::St {
+                space: MemSpace::Shared,
+                src: s,
+                addr: a,
+                offset: off * 4,
+            })
+            .boxed(),
+        Just(Instr::Nop).boxed(),
+        Just(Instr::Bar { id: 0 }).boxed(),
+    ])
 }
 
-/// Helper so SetP above keeps its own dst (the tuple map needed a Reg).
-trait PickDst {
-    fn pick_dst(self, _r: Reg) -> Instr;
+#[test]
+fn disassemble_assemble_roundtrip() {
+    check(
+        Config::with_cases(64),
+        vec_of(arb_instr(), 0..24),
+        |body: &Vec<Instr>| {
+            let mut instrs = body.clone();
+            instrs.push(Instr::Exit);
+            let p1 = Program::new("roundtrip", instrs, 8, 2, 64).unwrap();
+            let text = p1.disassemble();
+            let p2 = asm::assemble(&text).unwrap_or_else(|e| panic!("{e}\n{text}"));
+            prop_assert_eq!(&p1.instrs, &p2.instrs);
+            prop_assert_eq!(p1.regs, p2.regs);
+            prop_assert_eq!(p1.shared_bytes, p2.shared_bytes);
+            Ok(())
+        },
+    );
 }
-impl PickDst for Instr {
-    fn pick_dst(self, _r: Reg) -> Instr {
-        self
-    }
-}
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn disassemble_assemble_roundtrip(body in proptest::collection::vec(arb_instr(), 0..24)) {
-        let mut instrs = body;
-        instrs.push(Instr::Exit);
-        let p1 = Program::new("roundtrip", instrs, 8, 2, 64).unwrap();
-        let text = p1.disassemble();
-        let p2 = asm::assemble(&text).unwrap_or_else(|e| panic!("{e}\n{text}"));
-        prop_assert_eq!(p1.instrs, p2.instrs);
-        prop_assert_eq!(p1.regs, p2.regs);
-        prop_assert_eq!(p1.shared_bytes, p2.shared_bytes);
-    }
-
-    #[test]
-    fn validation_never_panics(body in proptest::collection::vec(arb_instr(), 0..16),
-                               regs in 1u8..16, preds in 1u8..4) {
-        let p = Program {
-            name: "fuzz".into(),
-            instrs: body,
-            regs,
-            preds,
-            shared_bytes: 0,
-        };
-        let _ = p.validate(); // may be Ok or Err; must not panic
-    }
+#[test]
+fn validation_never_panics() {
+    check(
+        Config::with_cases(64),
+        (vec_of(arb_instr(), 0..16), 1u8..16, 1u8..4),
+        |(body, regs, preds)| {
+            let p = Program {
+                name: "fuzz".into(),
+                instrs: body.clone(),
+                regs: *regs,
+                preds: *preds,
+                shared_bytes: 0,
+            };
+            let _ = p.validate(); // may be Ok or Err; must not panic
+            Ok(())
+        },
+    );
 }

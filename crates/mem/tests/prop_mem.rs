@@ -1,8 +1,10 @@
 //! Property-based tests for the memory hierarchy: cache/MSHR invariants,
 //! FR-FCFS liveness, coalescer set semantics, and whole-subsystem
-//! conservation (every accepted load completes exactly once).
+//! conservation (every accepted load completes exactly once). Runs on the
+//! in-repo `pro_core::prop` harness.
 
-use proptest::prelude::*;
+use pro_core::prop::{any, check, vec_of, Config};
+use pro_core::{prop_assert, prop_assert_eq};
 use pro_mem::cache::Lookup;
 use pro_mem::{
     coalesce_lines, Cache, CacheConfig, DramChannel, DramConfig, MemConfig, MemSubsystem,
@@ -18,162 +20,204 @@ fn tiny_cache() -> Cache<u32> {
     })
 }
 
-proptest! {
-    #[test]
-    fn cache_fill_makes_line_resident(lines in proptest::collection::vec(0u64..64, 1..32)) {
-        let mut c = tiny_cache();
-        for &l in &lines {
-            match c.access(l, 0) {
-                Lookup::Hit => prop_assert!(c.contains(l)),
-                Lookup::MissAllocated => {
-                    let _ = c.fill(l);
-                    prop_assert!(c.contains(l));
-                }
-                Lookup::MissMerged | Lookup::Rejected => unreachable!("always filled"),
-            }
-        }
-    }
-
-    #[test]
-    fn mshr_never_exceeds_capacity(ops in proptest::collection::vec((0u64..32, any::<bool>()), 1..64)) {
-        let mut c = tiny_cache();
-        let mut pending: Vec<u64> = Vec::new();
-        for (line, fill_one) in ops {
-            if c.access(line, 0) == Lookup::MissAllocated { pending.push(line) }
-            prop_assert!(c.mshr_pending() <= 4);
-            if fill_one {
-                if let Some(l) = pending.pop() {
-                    let _ = c.fill(l);
+#[test]
+fn cache_fill_makes_line_resident() {
+    check(
+        Config::default(),
+        vec_of(0u64..64, 1..32),
+        |lines: &Vec<u64>| {
+            let mut c = tiny_cache();
+            for &l in lines {
+                match c.access(l, 0) {
+                    Lookup::Hit => prop_assert!(c.contains(l)),
+                    Lookup::MissAllocated => {
+                        let _ = c.fill(l);
+                        prop_assert!(c.contains(l));
+                    }
+                    Lookup::MissMerged | Lookup::Rejected => unreachable!("always filled"),
                 }
             }
-        }
-    }
-
-    #[test]
-    fn working_set_within_associativity_never_misses_twice(
-        seq in proptest::collection::vec(0u64..2, 1..64)
-    ) {
-        // Two lines mapping to the same set of a 2-way cache: after the
-        // first fills, no further misses ever.
-        let mut c = tiny_cache();
-        let mut filled = [false; 2];
-        for l in seq {
-            match c.access(l, 0) {
-                Lookup::MissAllocated => {
-                    prop_assert!(!filled[l as usize], "refetched resident line");
-                    c.fill(l);
-                    filled[l as usize] = true;
-                }
-                Lookup::Hit => prop_assert!(filled[l as usize]),
-                other => prop_assert!(false, "unexpected {other:?}"),
-            }
-        }
-    }
-
-    #[test]
-    fn dram_serves_everything_exactly_once(lines in proptest::collection::vec(0u64..4096, 1..32)) {
-        let mut ch: DramChannel<u32> = DramChannel::new(DramConfig::default());
-        let mut pushed = 0usize;
-        let mut served = Vec::new();
-        let mut queue = lines.clone();
-        let mut now = 0u64;
-        while served.len() < lines.len() {
-            if let Some(l) = queue.pop() {
-                if ch.can_accept() {
-                    ch.push(now, l, pushed as u32);
-                    pushed += 1;
-                } else {
-                    queue.push(l);
-                }
-            }
-            if let Some((done, line, tag)) = ch.tick(now) {
-                prop_assert!(done > now);
-                served.push((line, tag));
-            }
-            now += 1;
-            prop_assert!(now < 100_000, "FR-FCFS starved");
-        }
-        // Each tag appears exactly once.
-        let mut tags: Vec<u32> = served.iter().map(|(_, t)| *t).collect();
-        tags.sort_unstable();
-        tags.dedup();
-        prop_assert_eq!(tags.len(), lines.len());
-        prop_assert_eq!(ch.stats.row_hits + ch.stats.row_misses, lines.len() as u64);
-    }
-
-    #[test]
-    fn coalescer_is_a_set_of_lines(addrs in proptest::collection::vec(0u64..(1<<20), 32), mask: u32) {
-        let arr: [u64; 32] = addrs.clone().try_into().unwrap();
-        let mut out = Vec::new();
-        coalesce_lines(&arr, mask, &mut out);
-        // ≤ active lanes, deduplicated, and covers every active address.
-        prop_assert!(out.len() <= mask.count_ones() as usize);
-        let mut sorted = out.clone();
-        sorted.sort_unstable();
-        sorted.dedup();
-        prop_assert_eq!(sorted.len(), out.len());
-        for (lane, &a) in arr.iter().enumerate() {
-            if mask & (1 << lane) != 0 {
-                prop_assert!(out.contains(&(a >> 7)));
-            }
-        }
-    }
-
-    #[test]
-    fn coalescer_is_order_insensitive_as_a_set(addrs in proptest::collection::vec(0u64..(1<<16), 32)) {
-        let arr: [u64; 32] = addrs.clone().try_into().unwrap();
-        let mut rev = addrs.clone();
-        rev.reverse();
-        let rarr: [u64; 32] = rev.try_into().unwrap();
-        let (mut a, mut b) = (Vec::new(), Vec::new());
-        coalesce_lines(&arr, u32::MAX, &mut a);
-        coalesce_lines(&rarr, u32::MAX, &mut b);
-        a.sort_unstable();
-        b.sort_unstable();
-        prop_assert_eq!(a, b);
-    }
+            Ok(())
+        },
+    );
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn subsystem_conserves_loads(
-        loads in proptest::collection::vec((0u64..2048, 1u32..4), 1..24)
-    ) {
-        let mut m = MemSubsystem::new(MemConfig::gtx480(), 2);
-        let mut expected = 0usize;
-        let mut now = 0u64;
-        for (i, (line, nlines)) in loads.iter().enumerate() {
-            m.begin_load(now, 0, i as u64, *nlines);
-            expected += 1;
-            for k in 0..*nlines {
-                // Retry until accepted.
-                let mut tries = 0;
-                while m.access_line(now, 0, i as u64, line + k as u64 * 131, false)
-                    == pro_mem::AccessOutcome::Rejected
-                {
-                    m.tick(now);
-                    now += 1;
-                    tries += 1;
-                    prop_assert!(tries < 50_000, "rejection livelock");
+#[test]
+fn mshr_never_exceeds_capacity() {
+    check(
+        Config::default(),
+        vec_of((0u64..32, any::<bool>()), 1..64),
+        |ops: &Vec<(u64, bool)>| {
+            let mut c = tiny_cache();
+            let mut pending: Vec<u64> = Vec::new();
+            for &(line, fill_one) in ops {
+                if c.access(line, 0) == Lookup::MissAllocated {
+                    pending.push(line)
+                }
+                prop_assert!(c.mshr_pending() <= 4);
+                if fill_one {
+                    if let Some(l) = pending.pop() {
+                        let _ = c.fill(l);
+                    }
                 }
             }
-            m.tick(now);
-            now += 1;
-        }
-        let mut done = 0usize;
-        let mut idle_ticks = 0;
-        while done < expected {
-            m.tick(now);
-            done += m.drain_completions(0).count();
-            now += 1;
-            idle_ticks += 1;
-            prop_assert!(idle_ticks < 200_000, "loads lost in the hierarchy");
-        }
-        prop_assert_eq!(done, expected);
-        prop_assert!(m.idle(), "subsystem should quiesce");
-        let s = m.stats();
-        prop_assert_eq!(s.loads, s.loads_completed);
-    }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn working_set_within_associativity_never_misses_twice() {
+    // Two lines mapping to the same set of a 2-way cache: after the
+    // first fills, no further misses ever.
+    check(
+        Config::default(),
+        vec_of(0u64..2, 1..64),
+        |seq: &Vec<u64>| {
+            let mut c = tiny_cache();
+            let mut filled = [false; 2];
+            for &l in seq {
+                match c.access(l, 0) {
+                    Lookup::MissAllocated => {
+                        prop_assert!(!filled[l as usize], "refetched resident line");
+                        c.fill(l);
+                        filled[l as usize] = true;
+                    }
+                    Lookup::Hit => prop_assert!(filled[l as usize]),
+                    other => prop_assert!(false, "unexpected {other:?}"),
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn dram_serves_everything_exactly_once() {
+    check(
+        Config::default(),
+        vec_of(0u64..4096, 1..32),
+        |lines: &Vec<u64>| {
+            let mut ch: DramChannel<u32> = DramChannel::new(DramConfig::default());
+            let mut pushed = 0usize;
+            let mut served = Vec::new();
+            let mut queue = lines.clone();
+            let mut now = 0u64;
+            while served.len() < lines.len() {
+                if let Some(l) = queue.pop() {
+                    if ch.can_accept() {
+                        ch.push(now, l, pushed as u32);
+                        pushed += 1;
+                    } else {
+                        queue.push(l);
+                    }
+                }
+                if let Some((done, line, tag)) = ch.tick(now) {
+                    prop_assert!(done > now);
+                    served.push((line, tag));
+                }
+                now += 1;
+                prop_assert!(now < 100_000, "FR-FCFS starved");
+            }
+            // Each tag appears exactly once.
+            let mut tags: Vec<u32> = served.iter().map(|(_, t)| *t).collect();
+            tags.sort_unstable();
+            tags.dedup();
+            prop_assert_eq!(tags.len(), lines.len());
+            prop_assert_eq!(ch.stats.row_hits + ch.stats.row_misses, lines.len() as u64);
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn coalescer_is_a_set_of_lines() {
+    check(
+        Config::default(),
+        (vec_of(0u64..(1 << 20), 32..33), any::<u32>()),
+        |(addrs, mask)| {
+            let mask = *mask;
+            let arr: [u64; 32] = addrs.clone().try_into().unwrap();
+            let mut out = Vec::new();
+            coalesce_lines(&arr, mask, &mut out);
+            // ≤ active lanes, deduplicated, and covers every active address.
+            prop_assert!(out.len() <= mask.count_ones() as usize);
+            let mut sorted = out.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            prop_assert_eq!(sorted.len(), out.len());
+            for (lane, &a) in arr.iter().enumerate() {
+                if mask & (1 << lane) != 0 {
+                    prop_assert!(out.contains(&(a >> 7)));
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn coalescer_is_order_insensitive_as_a_set() {
+    check(
+        Config::default(),
+        vec_of(0u64..(1 << 16), 32..33),
+        |addrs: &Vec<u64>| {
+            let arr: [u64; 32] = addrs.clone().try_into().unwrap();
+            let mut rev = addrs.clone();
+            rev.reverse();
+            let rarr: [u64; 32] = rev.try_into().unwrap();
+            let (mut a, mut b) = (Vec::new(), Vec::new());
+            coalesce_lines(&arr, u32::MAX, &mut a);
+            coalesce_lines(&rarr, u32::MAX, &mut b);
+            a.sort_unstable();
+            b.sort_unstable();
+            prop_assert_eq!(a, b);
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn subsystem_conserves_loads() {
+    check(
+        Config::with_cases(32),
+        vec_of((0u64..2048, 1u32..4), 1..24),
+        |loads: &Vec<(u64, u32)>| {
+            let mut m = MemSubsystem::new(MemConfig::gtx480(), 2);
+            let mut expected = 0usize;
+            let mut now = 0u64;
+            for (i, (line, nlines)) in loads.iter().enumerate() {
+                m.begin_load(now, 0, i as u64, *nlines);
+                expected += 1;
+                for k in 0..*nlines {
+                    // Retry until accepted.
+                    let mut tries = 0;
+                    while m.access_line(now, 0, i as u64, line + k as u64 * 131, false)
+                        == pro_mem::AccessOutcome::Rejected
+                    {
+                        m.tick(now);
+                        now += 1;
+                        tries += 1;
+                        prop_assert!(tries < 50_000, "rejection livelock");
+                    }
+                }
+                m.tick(now);
+                now += 1;
+            }
+            let mut done = 0usize;
+            let mut idle_ticks = 0;
+            while done < expected {
+                m.tick(now);
+                done += m.drain_completions(0).count();
+                now += 1;
+                idle_ticks += 1;
+                prop_assert!(idle_ticks < 200_000, "loads lost in the hierarchy");
+            }
+            prop_assert_eq!(done, expected);
+            prop_assert!(m.idle(), "subsystem should quiesce");
+            let s = m.stats();
+            prop_assert_eq!(s.loads, s.loads_completed);
+            Ok(())
+        },
+    );
 }

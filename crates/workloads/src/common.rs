@@ -1,15 +1,14 @@
 //! Shared kernel-construction idioms and host-side reference helpers used
 //! by the Table II workload modules.
 
+use pro_core::rng::SplitMix64;
 use pro_isa::{CmpOp, Pred, ProgramBuilder, Reg, Special, Src, Ty};
 use pro_mem::GlobalMem;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 /// Deterministic RNG for workload input data (fixed seed per kernel so host
 /// references and device runs agree and every run is reproducible).
-pub fn rng(seed: u64) -> SmallRng {
-    SmallRng::seed_from_u64(seed)
+pub fn rng(seed: u64) -> SplitMix64 {
+    SplitMix64::new(seed)
 }
 
 /// Allocate and initialize a buffer of `n` random f32 values in (0, 1].

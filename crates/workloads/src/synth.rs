@@ -15,9 +15,9 @@
 //!    the paper's fixed 25 kernels.
 
 use crate::common::rng;
+use pro_core::rng::SplitMix64;
 use pro_isa::{AtomOp, CmpOp, Kernel, LaunchConfig, ProgramBuilder, Reg, SfuOp, Special, Src, Ty};
 use pro_mem::GlobalMem;
-use rand::Rng;
 
 /// Knobs for the generator. All probabilities are in `0.0..=1.0`.
 #[derive(Debug, Clone, Copy)]
@@ -85,7 +85,7 @@ pub fn generate(gmem: &mut GlobalMem, p: SynthParams) -> SynthKernel {
     let threads = p.threads.clamp(1, 512).div_ceil(32) * 32;
     let n = (p.blocks * threads) as usize;
 
-    let table: Vec<u32> = (0..TABLE_WORDS).map(|_| r.gen()).collect();
+    let table: Vec<u32> = (0..TABLE_WORDS).map(|_| r.next_u32()).collect();
     let table_base = gmem.alloc_init(&table);
     let out_base = gmem.alloc(n as u64 * 4);
 
@@ -114,7 +114,7 @@ pub fn generate(gmem: &mut GlobalMem, p: SynthParams) -> SynthKernel {
     #[allow(clippy::too_many_arguments)] // generator context bundle
     fn statement(
         b: &mut ProgramBuilder,
-        r: &mut impl Rng,
+        r: &mut SplitMix64,
         p: &SynthParams,
         regs: (Reg, Reg, Reg, Reg, Reg, Reg, Reg),
         pr: pro_isa::Pred,
@@ -124,7 +124,7 @@ pub fn generate(gmem: &mut GlobalMem, p: SynthParams) -> SynthKernel {
         depth: u32,
     ) {
         let (gtid, tid, addr, acc, tmp, idx, facc) = regs;
-        let roll: f64 = r.gen();
+        let roll = r.gen_f64();
         let mut cum = p.mem_prob;
         if roll < cum {
             // Global load: coalesced (acc-indexed per thread but mixed into
@@ -191,8 +191,8 @@ pub fn generate(gmem: &mut GlobalMem, p: SynthParams) -> SynthKernel {
             b.and(tmp, gtid, Src::Imm(31));
             b.setp(CmpOp::Lt, Ty::U32, pr, tmp, Src::Imm(pivot));
             let else_too = r.gen_bool(0.5);
-            let seed_a: u64 = r.gen();
-            let seed_b: u64 = r.gen();
+            let seed_a = r.next_u64();
+            let seed_b = r.next_u64();
             if else_too {
                 b.if_else(
                     pr,
@@ -217,8 +217,8 @@ pub fn generate(gmem: &mut GlobalMem, p: SynthParams) -> SynthKernel {
         if roll < cum && depth < 2 {
             // Loop with either uniform or per-lane (divergent) bound.
             let divergent = r.gen_bool(0.5);
-            let trips = r.gen_range(1..=p.max_trip);
-            let body_seed: u64 = r.gen();
+            let trips = r.gen_range(1..p.max_trip + 1);
+            let body_seed = r.next_u64();
             let bound = idx;
             if divergent {
                 b.and(bound, gtid, Src::Imm(7));

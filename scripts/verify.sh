@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Tier-1 verification, runnable fully offline.
+#
+# The workspace is hermetic by construction: every crate depends only on
+# sibling path crates, so `cargo build` never touches a registry. This
+# script runs the tier-1 gate (release build + full test suite), checks
+# that rustdoc stays warning-free, and guards against anyone reintroducing
+# an external dependency into a manifest.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+manifests=(Cargo.toml crates/*/Cargo.toml)
+
+echo "== guard: no external dependencies in any manifest =="
+# The workspace root declares every dependency as `{ path = "crates/..." }`
+# and crates reference them as `foo.workspace = true`. Anything else — a
+# banned crate name, a semver requirement, or a git/registry source —
+# would break the offline guarantee.
+if grep -nE '\b(rand|proptest|criterion)\b' "${manifests[@]}"; then
+    echo "ERROR: a removed external crate is referenced in a manifest" >&2
+    exit 1
+fi
+if grep -nE '=\s*\{[^}]*(git|registry)\s*=' "${manifests[@]}"; then
+    echo "ERROR: a git/registry dependency source appears in a manifest" >&2
+    exit 1
+fi
+# Semver requirements (`foo = "1.2"` or `version = "1.2"` inside a dep
+# table) — the only legitimate quoted-number lines are the root manifest's
+# own package/workspace metadata (version, edition, resolver).
+if grep -nE '=\s*("[0-9^~*]|\{[^}]*version\s*=)' "${manifests[@]}" \
+    | grep -vE '^Cargo\.toml:[0-9]+:(version|edition|resolver|rust-version)\s*='; then
+    echo "ERROR: a version-style (registry) dependency appears in a manifest" >&2
+    exit 1
+fi
+echo "ok: all dependencies are path-only"
+
+echo "== tier-1: release build =="
+cargo build --release
+
+echo "== tier-1: test suite =="
+cargo test -q
+
+echo "== rustdoc: must be warning-free =="
+RUSTDOCFLAGS="--deny warnings" cargo doc --no-deps
+
+echo "== verify: all green =="

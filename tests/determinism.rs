@@ -5,6 +5,7 @@
 
 use pro_sim::{Gpu, GpuConfig, SchedulerKind, TraceOptions};
 use pro_workloads::registry;
+use pro_workloads::synth::{generate, SynthParams};
 
 fn run_twice(kernel_name: &str, sched: SchedulerKind) -> (pro_sim::RunResult, pro_sim::RunResult) {
     let w = registry()
@@ -71,6 +72,46 @@ fn per_sm_breakdown_is_deterministic() {
     for (x, y) in a.per_sm.iter().zip(&b.per_sm) {
         assert_eq!(x, y);
     }
+}
+
+#[test]
+fn synth_kernels_are_cross_run_deterministic() {
+    // Two whole fresh-GPU runs of the same generated kernel with the same
+    // seed: the generator (in-repo SplitMix64 RNG) and the simulator must
+    // together be a pure function of the seed — identical cycle counts,
+    // stall breakdowns, memory stats, and output memory.
+    let p = SynthParams {
+        seed: 0xC0FFEE,
+        blocks: 6,
+        threads: 96,
+        statements: 8,
+        mem_prob: 0.5,
+        barrier_prob: 0.3,
+        ..SynthParams::default()
+    };
+    let mut results = Vec::new();
+    for _ in 0..2 {
+        let mut gpu = Gpu::new(GpuConfig::small(2), 16 << 20);
+        let k = generate(&mut gpu.gmem, p);
+        let r = gpu
+            .launch(&k.kernel, SchedulerKind::Pro, TraceOptions::default())
+            .unwrap();
+        let out = gpu.gmem.read_slice(k.out_base, k.out_len);
+        results.push((r, out));
+    }
+    let (b, out_b) = results.pop().unwrap();
+    let (a, out_a) = results.pop().unwrap();
+    assert_eq!(a.cycles, b.cycles, "cycles");
+    assert_eq!(a.sm.instructions, b.sm.instructions, "instructions");
+    assert_eq!(a.sm.issued, b.sm.issued, "issued");
+    assert_eq!(a.sm.idle, b.sm.idle, "idle");
+    assert_eq!(a.sm.scoreboard, b.sm.scoreboard, "scoreboard");
+    assert_eq!(a.sm.pipeline, b.sm.pipeline, "pipeline");
+    assert_eq!(a.mem.loads, b.mem.loads, "loads");
+    assert_eq!(a.mem.l1.hits, b.mem.l1.hits, "l1 hits");
+    assert_eq!(a.mem.dram.accepted, b.mem.dram.accepted, "dram");
+    assert_eq!(a.per_sm, b.per_sm, "per-SM stat blocks");
+    assert_eq!(out_a, out_b, "output memory");
 }
 
 #[test]

@@ -1,8 +1,10 @@
-//! Simulator-level property tests (proptest): random structured kernels
-//! and random generator knobs must preserve the core contracts — scheduler
-//! functional equivalence, counter consistency, and determinism.
+//! Simulator-level property tests: random structured kernels and random
+//! generator knobs must preserve the core contracts — scheduler functional
+//! equivalence, counter consistency, and determinism. Runs on the in-repo
+//! `pro_core::prop` harness.
 
-use proptest::prelude::*;
+use pro_core::prop::{any, check, Config, Strategy, StrategyExt};
+use pro_core::{prop_assert, prop_assert_eq};
 use pro_sim::{Gpu, GpuConfig, SchedulerKind, TraceOptions};
 use pro_workloads::synth::{generate, SynthParams};
 
@@ -43,21 +45,22 @@ fn arb_params() -> impl Strategy<Value = SynthParams> {
         )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn pro_and_lrr_agree_on_random_kernels(p in arb_params()) {
-        let (a, ra) = run(p, SchedulerKind::Lrr);
-        let (b, rb) = run(p, SchedulerKind::Pro);
+#[test]
+fn pro_and_lrr_agree_on_random_kernels() {
+    check(Config::with_cases(24), arb_params(), |p: &SynthParams| {
+        let (a, ra) = run(*p, SchedulerKind::Lrr);
+        let (b, rb) = run(*p, SchedulerKind::Pro);
         prop_assert_eq!(a, b, "memory diverged at seed {}", p.seed);
         prop_assert_eq!(ra.sm.instructions, rb.sm.instructions);
         prop_assert_eq!(ra.sm.thread_instructions, rb.sm.thread_instructions);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn counters_always_reconcile(p in arb_params()) {
-        let (_, r) = run(p, SchedulerKind::Gto);
+#[test]
+fn counters_always_reconcile() {
+    check(Config::with_cases(24), arb_params(), |p: &SynthParams| {
+        let (_, r) = run(*p, SchedulerKind::Gto);
         prop_assert_eq!(
             r.sm.issued + r.sm.idle + r.sm.scoreboard + r.sm.pipeline,
             r.sm.unit_cycles
@@ -65,14 +68,18 @@ proptest! {
         prop_assert_eq!(r.sm.unit_cycles, r.cycles * 2 * 2); // 2 units x 2 SMs
         prop_assert_eq!(r.mem.loads, r.mem.loads_completed);
         prop_assert!(r.sm.instructions > 0);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn reruns_are_bit_identical(p in arb_params()) {
-        let (a, ra) = run(p, SchedulerKind::Tl);
-        let (b, rb) = run(p, SchedulerKind::Tl);
+#[test]
+fn reruns_are_bit_identical() {
+    check(Config::with_cases(24), arb_params(), |p: &SynthParams| {
+        let (a, ra) = run(*p, SchedulerKind::Tl);
+        let (b, rb) = run(*p, SchedulerKind::Tl);
         prop_assert_eq!(a, b);
         prop_assert_eq!(ra.cycles, rb.cycles);
         prop_assert_eq!(ra.sm.idle, rb.sm.idle);
-    }
+        Ok(())
+    });
 }
