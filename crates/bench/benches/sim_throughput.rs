@@ -103,9 +103,65 @@ fn bench_policy_order(r: &mut Runner) {
     }
 }
 
+/// The tracing overhead budget: the same full launch with the bus off
+/// (NoopTracer — the default `Gpu::launch` path), with a preallocated ring
+/// subscribed to every class, and with classic timeline tracing on. The
+/// noop and timeline rows bound the cost existing callers pay; the ring
+/// row is the price of full-fidelity capture.
+fn bench_trace_overhead(r: &mut Runner) {
+    use pro_sim::isa::{Kernel, LaunchConfig, ProgramBuilder};
+    use pro_sim::{Gpu, GpuConfig, TraceOptions};
+    use pro_trace::RingTracer;
+
+    fn kernel(base: u64) -> Kernel {
+        let mut b = ProgramBuilder::new("trace_overhead");
+        let (g, a, v) = (b.reg(), b.reg(), b.reg());
+        b.global_tid(g);
+        b.buf_addr(a, 0, g, 0);
+        b.ld_global(v, a, 0);
+        b.imul(v, v, pro_sim::isa::Src::Reg(v));
+        b.bar();
+        b.st_global(v, a, 0);
+        b.exit();
+        Kernel::new(
+            b.build().expect("valid kernel"),
+            LaunchConfig::linear(16, 128),
+            vec![base as u32],
+        )
+    }
+
+    let run = |tracer: &mut dyn pro_trace::Tracer, trace: TraceOptions| -> u64 {
+        let mut gpu = Gpu::new(GpuConfig::small(4), 4 << 20);
+        let base = gpu.gmem.alloc(16 * 128 * 4);
+        gpu.launch_traced(&kernel(base), SchedulerKind::Pro, trace, tracer)
+            .expect("launch completes")
+            .cycles
+    };
+
+    r.bench("launch/noop_tracer", || {
+        run(&mut pro_trace::NoopTracer, TraceOptions::default())
+    });
+    r.bench("launch/timeline_only", || {
+        run(
+            &mut pro_trace::NoopTracer,
+            TraceOptions {
+                timeline: true,
+                ..Default::default()
+            },
+        )
+    });
+    // One ring across iterations: steady-state emission, no allocation.
+    let mut ring = RingTracer::new(1 << 20);
+    r.bench("launch/ring_tracer_all_classes", || {
+        ring.clear();
+        run(&mut ring, TraceOptions::default())
+    });
+}
+
 fn main() {
     let mut r = Runner::from_args("components");
     bench_cache(&mut r);
     bench_policy_order(&mut r);
+    bench_trace_overhead(&mut r);
     r.finish();
 }

@@ -60,6 +60,8 @@ fn main() {
         "disasm" => disasm(args.get(1).map(String::as_str).unwrap_or("")),
         "ready" => ready(scale),
         "occupancy" => occupancy(scale),
+        "trace" => trace_cmd(scale, &args),
+        "trace-report" => trace_report(&args),
         "all" => {
             config();
             workloads(scale);
@@ -80,7 +82,8 @@ fn main() {
         }
         _ => {
             eprintln!(
-                "usage: repro <config|workloads|fig1|fig2|fig4|fig5|table3|table4|ablation|sweep|wld|cache|ready|occupancy|synthsweep|svg|json|dram|all> | disasm <kernel> \
+                "usage: repro <config|workloads|fig1|fig2|fig4|fig5|table3|table4|ablation|sweep|wld|cache|ready|occupancy|synthsweep|svg|json|dram|all> \
+                 | disasm <kernel> | trace [kernel] [tl|lrr|gto|pro] | trace-report <file.jsonl> \
                  [--full-scale] [--quick]"
             );
             std::process::exit(2);
@@ -872,6 +875,110 @@ fn occupancy(scale: Scale) {
                 .collect();
             println!("SM{i:<2} {line}");
         }
+    }
+}
+
+/// Structured tracing: run one kernel with the event bus wide open and
+/// export the stream twice — JSONL for `trace-report`, Chrome trace_event
+/// JSON for ui.perfetto.dev / chrome://tracing.
+fn trace_cmd(scale: Scale, args: &[String]) {
+    use pro_trace::{
+        aggregate, chrome_trace, ClassSet, EventClass, JsonlTracer, RingTracer, Tee,
+    };
+    use pro_sim::Gpu;
+    let mut rest = args.iter().skip(1).filter(|a| !a.starts_with("--"));
+    let name = rest.next().map(String::as_str).unwrap_or("laplace3d");
+    let sched_name = rest.next().map(String::as_str).unwrap_or("pro");
+    let Some(sched) = SchedulerKind::PAPER
+        .into_iter()
+        .find(|s| s.name().eq_ignore_ascii_case(sched_name))
+    else {
+        eprintln!("unknown scheduler `{sched_name}` (pick tl, lrr, gto or pro)");
+        std::process::exit(2);
+    };
+    let Some(w) = registry().into_iter().find(|w| w.kernel == name) else {
+        eprintln!("unknown kernel `{name}`; see `repro workloads`");
+        std::process::exit(2);
+    };
+    header(&format!("Structured trace: {name} under {sched} (4-SM slice)"));
+    // The 4-SM slice keeps the full-fidelity stream at demo size (a few
+    // MB); the event schema is identical at any machine size.
+    let cfg = GpuConfig::small(4);
+    let mut gpu = Gpu::new(cfg, w.recommended_gmem(scale));
+    let built = w.build_scaled(&mut gpu.gmem, scale);
+    let mut jsonl = JsonlTracer::new(Vec::<u8>::new());
+    // The Chrome export only needs TB spans, memory lifecycle and barrier
+    // instants; a class-filtered ring keeps it allocation-free mid-run.
+    let mut ring = RingTracer::with_classes(
+        1 << 20,
+        ClassSet::of(&[EventClass::Tb, EventClass::Mem, EventClass::Barrier]),
+    );
+    let mut tee = Tee::new(&mut jsonl, &mut ring);
+    let r = gpu
+        .launch_traced(&built.kernel, sched, TraceOptions::default(), &mut tee)
+        .expect("traced run completes");
+    println!("{}", r.summary());
+
+    let lines = jsonl.lines_written;
+    let text = String::from_utf8(jsonl.into_inner()).expect("jsonl is utf-8");
+    let base = format!("trace_{}_{}", name, sched.name().to_lowercase());
+    let jsonl_path = format!("{base}.jsonl");
+    std::fs::write(&jsonl_path, &text).expect("write jsonl");
+    if ring.total_emitted() > ring.len() as u64 {
+        println!(
+            "[ring] kept newest {} of {} chrome-lane events",
+            ring.len(),
+            ring.total_emitted()
+        );
+    }
+    let chrome = chrome_trace(name, ring.records(), r.cycles);
+    let chrome_path = format!("{base}.chrome.json");
+    std::fs::write(&chrome_path, &chrome).expect("write chrome json");
+    println!("wrote {jsonl_path} ({lines} lines) and {chrome_path} (load into ui.perfetto.dev)\n");
+
+    // Reduce the stream straight back and cross-check it against the
+    // simulator's own counters — the bus and the stats must agree exactly.
+    let (reports, bad) = aggregate(&text);
+    for rep in &reports {
+        print!("{}", rep.render());
+    }
+    if bad > 0 {
+        println!("[{bad} unparseable lines]");
+    }
+    if let Some(rep) = reports.first() {
+        let tot = rep.total_stalls().max(1) as f64;
+        let dev = (rep.idle as f64 / tot - r.idle_frac())
+            .abs()
+            .max((rep.scoreboard as f64 / tot - r.scoreboard_frac()).abs())
+            .max((rep.pipeline as f64 / tot - r.pipeline_frac()).abs());
+        println!("[cross-check] max |trace - counters| stall-share deviation: {dev:.1e}");
+    }
+}
+
+/// Reduce a JSONL trace (written by `repro trace` or any [`pro_trace::JsonlTracer`])
+/// back to per-kernel stall/memory reports.
+fn trace_report(args: &[String]) {
+    let Some(path) = args.iter().skip(1).find(|a| !a.starts_with("--")) else {
+        eprintln!("usage: repro trace-report <file.jsonl>");
+        std::process::exit(2);
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let (reports, bad) = pro_trace::aggregate(&text);
+    if reports.is_empty() {
+        eprintln!("{path}: no KernelBegin/KernelEnd markers found");
+        std::process::exit(2);
+    }
+    for rep in &reports {
+        print!("{}", rep.render());
+    }
+    if bad > 0 {
+        println!("[{bad} unparseable lines]");
     }
 }
 

@@ -26,6 +26,8 @@
 //! | `repro dram`       | FR-FCFS vs FCFS DRAM scheduling (Table I ablation) |
 //! | `repro svg`        | SVG renderings of Fig. 2 and Fig. 4 |
 //! | `repro json`       | machine-readable dump of every (kernel × sched) run |
+//! | `repro trace`      | JSONL + Chrome trace_event export of one traced run |
+//! | `repro trace-report` | reduce a JSONL trace back to per-kernel reports |
 //!
 //! The bench targets (`cargo bench`) wrap the same runners on the in-repo
 //! fixed-iteration [`runner`] for wall-clock timing of the simulator

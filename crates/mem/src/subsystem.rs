@@ -16,6 +16,7 @@
 
 use crate::cache::{Cache, CacheConfig, CacheStats, Lookup};
 use crate::dram::{DramChannel, DramConfig, DramStats};
+use pro_trace::{Event as TraceEvent, EventClass, Hist16, NoopTracer, Tracer};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
 
@@ -88,6 +89,9 @@ pub struct MemStats {
     pub load_latency_sum: u64,
     /// Completed loads.
     pub loads_completed: u64,
+    /// Distribution of end-to-end load latencies (same samples as
+    /// `load_latency_sum` / `loads_completed`).
+    pub load_lat_hist: Hist16,
 }
 
 impl MemStats {
@@ -207,6 +211,8 @@ impl MemSubsystem {
     /// Offer one line transaction. For loads, [`Self::begin_load`] must have
     /// been called. For stores the line is functionally already written;
     /// this call models write-through traffic and L1 write-evict.
+    ///
+    /// Untraced convenience wrapper around [`Self::access_line_traced`].
     pub fn access_line(
         &mut self,
         now: u64,
@@ -215,11 +221,30 @@ impl MemSubsystem {
         line: u64,
         is_write: bool,
     ) -> AccessOutcome {
+        self.access_line_traced(now, sm, access, line, is_write, &mut NoopTracer)
+    }
+
+    /// [`Self::access_line`] with L1-level lifecycle events
+    /// (`L1Hit`/`L1Miss`/`MshrMerge`/`MshrReject`/`StoreLine`) published to
+    /// `tracer`. Request ids in events are `pro_trace::req_id(sm, access)`.
+    pub fn access_line_traced(
+        &mut self,
+        now: u64,
+        sm: u32,
+        access: AccessId,
+        line: u64,
+        is_write: bool,
+        tracer: &mut dyn Tracer,
+    ) -> AccessOutcome {
+        let trace_mem = tracer.wants(EventClass::Mem);
         if is_write {
             // Fermi global-store policy: evict on hit, no allocate,
             // write-through to L2/DRAM.
             self.l1s[sm as usize].invalidate(line);
             self.stats_extra.store_lines += 1;
+            if trace_mem {
+                tracer.emit(now, &TraceEvent::StoreLine { sm, line });
+            }
             self.schedule(
                 now + self.cfg.icnt_lat,
                 Event::ArriveL2(Txn {
@@ -230,12 +255,19 @@ impl MemSubsystem {
             );
             return AccessOutcome::Accepted;
         }
+        let req = key(sm, access);
         match self.l1s[sm as usize].access(line, access) {
             Lookup::Hit => {
+                if trace_mem {
+                    tracer.emit(now, &TraceEvent::L1Hit { sm, req, line });
+                }
                 self.schedule(now + self.cfg.l1_hit_lat, Event::L1Done { sm, access });
                 AccessOutcome::Accepted
             }
             Lookup::MissAllocated => {
+                if trace_mem {
+                    tracer.emit(now, &TraceEvent::L1Miss { sm, req, line });
+                }
                 self.schedule(
                     now + self.cfg.icnt_lat,
                     Event::ArriveL2(Txn {
@@ -246,12 +278,22 @@ impl MemSubsystem {
                 );
                 AccessOutcome::Accepted
             }
-            Lookup::MissMerged => AccessOutcome::Accepted,
-            Lookup::Rejected => AccessOutcome::Rejected,
+            Lookup::MissMerged => {
+                if trace_mem {
+                    tracer.emit(now, &TraceEvent::MshrMerge { sm, req, line });
+                }
+                AccessOutcome::Accepted
+            }
+            Lookup::Rejected => {
+                if trace_mem {
+                    tracer.emit(now, &TraceEvent::MshrReject { sm, req, line });
+                }
+                AccessOutcome::Rejected
+            }
         }
     }
 
-    fn complete_line(&mut self, now: u64, sm: u32, access: AccessId) {
+    fn complete_line(&mut self, now: u64, sm: u32, access: AccessId, tracer: &mut dyn Tracer) {
         let k = key(sm, access);
         let done = {
             let entry = self
@@ -263,15 +305,30 @@ impl MemSubsystem {
         };
         if done {
             let (_, begun) = self.outstanding.remove(&k).expect("present");
+            let latency = now - begun;
             self.stats_extra.loads_completed += 1;
-            self.stats_extra.load_latency_sum += now - begun;
+            self.stats_extra.load_latency_sum += latency;
+            self.stats_extra.load_lat_hist.observe(latency);
+            if tracer.wants(EventClass::Mem) {
+                tracer.emit(now, &TraceEvent::LoadComplete { sm, req: k, latency });
+            }
             self.completions[sm as usize].push_back(access);
         }
     }
 
     /// Advance the hierarchy one cycle. Call once per GPU cycle with a
     /// monotonically increasing `now`.
+    ///
+    /// Untraced convenience wrapper around [`Self::tick_traced`].
     pub fn tick(&mut self, now: u64) {
+        self.tick_traced(now, &mut NoopTracer)
+    }
+
+    /// [`Self::tick`] with downstream lifecycle events (`L2Hit`/`L2Miss`/
+    /// `L2Merge`/`DramSchedule`/`LineFill`/`LoadComplete`) published to
+    /// `tracer`.
+    pub fn tick_traced(&mut self, now: u64, tracer: &mut dyn Tracer) {
+        let trace_mem = tracer.wants(EventClass::Mem);
         // 1. Deliver due events.
         while let Some(&Reverse((t, _, idx))) = self.events.peek() {
             if t > now {
@@ -296,13 +353,16 @@ impl MemSubsystem {
                     }
                 }
                 Event::ReturnToSm { sm, line } => {
+                    if trace_mem {
+                        tracer.emit(now, &TraceEvent::LineFill { sm, line });
+                    }
                     let (accesses, _evicted) = self.l1s[sm as usize].fill(line);
                     for a in accesses {
-                        self.complete_line(now, sm, a);
+                        self.complete_line(now, sm, a, tracer);
                     }
                 }
                 Event::L1Done { sm, access } => {
-                    self.complete_line(now, sm, access);
+                    self.complete_line(now, sm, access, tracer);
                 }
             }
         }
@@ -333,6 +393,12 @@ impl MemSubsystem {
                 }
                 match self.slices[p].cache.access(txn.line, txn) {
                     Lookup::Hit => {
+                        if trace_mem {
+                            tracer.emit(
+                                now,
+                                &TraceEvent::L2Hit { part: p as u32, line: txn.line },
+                            );
+                        }
                         self.slices[p].in_q.pop_front();
                         self.schedule(
                             now + self.cfg.l2_lat + self.cfg.icnt_lat,
@@ -343,9 +409,21 @@ impl MemSubsystem {
                         );
                     }
                     Lookup::MissMerged => {
+                        if trace_mem {
+                            tracer.emit(
+                                now,
+                                &TraceEvent::L2Merge { part: p as u32, line: txn.line },
+                            );
+                        }
                         self.slices[p].in_q.pop_front();
                     }
                     Lookup::MissAllocated => {
+                        if trace_mem {
+                            tracer.emit(
+                                now,
+                                &TraceEvent::L2Miss { part: p as u32, line: txn.line },
+                            );
+                        }
                         self.slices[p].in_q.pop_front();
                         self.drams[p].push(now + self.cfg.l2_lat, txn.line, p as u32);
                     }
@@ -358,7 +436,21 @@ impl MemSubsystem {
 
         // 3. DRAM channels.
         for p in 0..self.drams.len() {
+            // `DramChannel::tick` does not report row-buffer locality for
+            // the request it schedules, so recover it from the stats delta.
+            let row_hits_before = self.drams[p].stats.row_hits;
             if let Some((done, line, part)) = self.drams[p].tick(now) {
+                if trace_mem {
+                    tracer.emit(
+                        now,
+                        &TraceEvent::DramSchedule {
+                            part,
+                            line,
+                            row_hit: self.drams[p].stats.row_hits > row_hits_before,
+                            done,
+                        },
+                    );
+                }
                 self.schedule(done, Event::DramDone { part, line });
             }
         }
@@ -586,6 +678,45 @@ mod tests {
             t_busy > t_quiet,
             "contention should add latency: quiet={t_quiet} busy={t_busy}"
         );
+    }
+
+    #[test]
+    fn traced_cold_load_emits_full_lifecycle_in_order() {
+        use pro_trace::RingTracer;
+        let mut m = subsystem();
+        let mut t = RingTracer::new(64);
+        m.begin_load(0, 0, 1, 1);
+        assert_eq!(
+            m.access_line_traced(0, 0, 1, 42, false, &mut t),
+            AccessOutcome::Accepted
+        );
+        for now in 0..5000 {
+            m.tick_traced(now, &mut t);
+            let _ = m.drain_completions(0).count();
+        }
+        let kinds: Vec<&str> = t.records().map(|r| r.event.kind()).collect();
+        assert_eq!(
+            kinds,
+            vec!["L1Miss", "L2Miss", "DramSchedule", "LineFill", "LoadComplete"],
+            "cold load lifecycle"
+        );
+        let req = pro_trace::req_id(0, 1);
+        for r in t.records() {
+            match r.event {
+                TraceEvent::L1Miss { req: q, .. } | TraceEvent::LoadComplete { req: q, .. } => {
+                    assert_eq!(q, req)
+                }
+                _ => {}
+            }
+        }
+        // Latency in the event equals the stats aggregate.
+        let s = m.stats();
+        let TraceEvent::LoadComplete { latency, .. } = t.records().last().unwrap().event else {
+            panic!("last event must be LoadComplete");
+        };
+        assert_eq!(latency, s.load_latency_sum);
+        assert_eq!(s.load_lat_hist.total(), 1);
+        assert_eq!(s.load_lat_hist.sum(), s.load_latency_sum);
     }
 
     #[test]

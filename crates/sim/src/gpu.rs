@@ -7,6 +7,7 @@ use pro_core::SchedulerKind;
 use pro_isa::Kernel;
 use pro_mem::{GlobalMem, MemConfig, MemSubsystem};
 use pro_sm::{Sm, SmConfig, SmStats, TickReport};
+use pro_trace::{Event as TraceEvent, EventClass, NoopTracer, Tracer};
 use std::collections::{HashMap, VecDeque};
 
 /// Whole-GPU configuration (defaults = the paper's Table I).
@@ -44,6 +45,12 @@ impl GpuConfig {
 }
 
 /// Optional measurement hooks for a launch.
+///
+/// `timeline` and `utilization_period` are implemented as subscriptions on
+/// the `pro-trace` event bus (TB launch/complete and warp-issue events);
+/// `tb_order` polls the policy directly since it reads scheduler *state*,
+/// which no event carries. External subscribers attach via
+/// [`Gpu::launch_traced`].
 #[derive(Debug, Clone, Copy, Default)]
 pub struct TraceOptions {
     /// Record each TB's (SM, start, end) — regenerates Fig. 2.
@@ -56,6 +63,94 @@ pub struct TraceOptions {
     /// Record per-SM issued-instruction counts every `utilization_period`
     /// cycles (0 = off) — drives the occupancy heatmap.
     pub utilization_period: u64,
+}
+
+/// Internal bus subscriber that rebuilds the classic `RunResult` traces
+/// (timeline, utilization) from events and forwards everything to the
+/// user's tracer.
+struct Recorder<'a> {
+    user: &'a mut dyn Tracer,
+    start_cycle: u64,
+    timeline_on: bool,
+    starts: HashMap<(u32, u32), u64>,
+    timeline: Vec<TbSpan>,
+    util_period: u64,
+    util: Vec<Vec<u64>>,
+}
+
+impl<'a> Recorder<'a> {
+    fn new(user: &'a mut dyn Tracer, opts: &TraceOptions, start_cycle: u64, num_sms: usize) -> Self {
+        Recorder {
+            user,
+            start_cycle,
+            timeline_on: opts.timeline,
+            starts: HashMap::new(),
+            timeline: Vec::new(),
+            util_period: opts.utilization_period,
+            util: vec![Vec::new(); num_sms],
+        }
+    }
+
+    /// Equal-length utilization rows (ragged tails zero-padded).
+    fn finish_util(mut self) -> (Vec<TbSpan>, Vec<Vec<u64>>) {
+        let width = self.util.iter().map(Vec::len).max().unwrap_or(0);
+        for row in &mut self.util {
+            row.resize(width, 0);
+        }
+        (self.timeline, self.util)
+    }
+}
+
+impl Tracer for Recorder<'_> {
+    fn enabled(&self) -> bool {
+        self.timeline_on || self.util_period > 0 || self.user.enabled()
+    }
+
+    fn wants(&self, class: EventClass) -> bool {
+        (self.timeline_on && class == EventClass::Tb)
+            || (self.util_period > 0 && class == EventClass::Issue)
+            || self.user.wants(class)
+    }
+
+    fn emit(&mut self, cycle: u64, ev: &TraceEvent) {
+        match *ev {
+            TraceEvent::TbLaunch { sm, global_index, .. } if self.timeline_on => {
+                self.starts.insert((sm, global_index), cycle);
+            }
+            TraceEvent::TbComplete { sm, global_index, .. } if self.timeline_on => {
+                let start = self
+                    .starts
+                    .remove(&(sm, global_index))
+                    .expect("TbComplete without TbLaunch");
+                self.timeline.push(TbSpan {
+                    sm,
+                    global_index,
+                    start: start - self.start_cycle,
+                    end: cycle - self.start_cycle,
+                });
+            }
+            TraceEvent::WarpIssue { sm, .. } if self.util_period > 0 => {
+                let bucket = ((cycle - self.start_cycle) / self.util_period) as usize;
+                let row = &mut self.util[sm as usize];
+                if row.len() <= bucket {
+                    row.resize(bucket + 1, 0);
+                }
+                row[bucket] += 1;
+            }
+            _ => {}
+        }
+        if self.user.wants(ev.class()) {
+            self.user.emit(cycle, ev);
+        }
+    }
+
+    fn on_kernel_begin(&mut self, name: &str, cycle: u64) {
+        self.user.on_kernel_begin(name, cycle);
+    }
+
+    fn on_kernel_end(&mut self, name: &str, cycle: u64, cycles: u64) {
+        self.user.on_kernel_end(name, cycle, cycles);
+    }
 }
 
 /// Simulation failure modes.
@@ -139,12 +234,26 @@ impl Gpu {
         scheduler: SchedulerKind,
         trace: TraceOptions,
     ) -> Result<RunResult, SimError> {
+        self.launch_traced(kernel, scheduler, trace, &mut NoopTracer)
+    }
+
+    /// [`Gpu::launch`] with an external [`Tracer`] subscribed to the event
+    /// bus for the whole run (issue/stall, scoreboard, barrier, SIMT, TB
+    /// and memory-lifecycle events). Kernel boundaries arrive via
+    /// `Tracer::on_kernel_begin` / `on_kernel_end`.
+    pub fn launch_traced(
+        &mut self,
+        kernel: &Kernel,
+        scheduler: SchedulerKind,
+        trace: TraceOptions,
+        tracer: &mut dyn Tracer,
+    ) -> Result<RunResult, SimError> {
         let (w, t, u) = (
             self.cfg.sm.max_warps,
             self.cfg.sm.max_tbs,
             self.cfg.sm.units,
         );
-        self.launch_custom(kernel, &mut || scheduler.build(w, t, u), trace)
+        self.launch_custom_traced(kernel, &mut || scheduler.build(w, t, u), trace, tracer)
     }
 
     /// Like [`Gpu::launch`] but with an arbitrary policy factory — used for
@@ -155,6 +264,18 @@ impl Gpu {
         kernel: &Kernel,
         factory: &mut dyn FnMut() -> Box<dyn pro_core::WarpScheduler>,
         trace: TraceOptions,
+    ) -> Result<RunResult, SimError> {
+        self.launch_custom_traced(kernel, factory, trace, &mut NoopTracer)
+    }
+
+    /// The full-generality launch: custom policy factory plus an external
+    /// tracer on the event bus. All other launch methods delegate here.
+    pub fn launch_custom_traced(
+        &mut self,
+        kernel: &Kernel,
+        factory: &mut dyn FnMut() -> Box<dyn pro_core::WarpScheduler>,
+        trace: TraceOptions,
+        tracer: &mut dyn Tracer,
     ) -> Result<RunResult, SimError> {
         let num_sms = self.cfg.num_sms as usize;
         let mut policies: Vec<_> = (0..num_sms).map(|_| factory()).collect();
@@ -172,13 +293,14 @@ impl Gpu {
         let start_cycle = self.cycle;
         let mut rr_next_sm = 0usize;
         let mut report = TickReport::default();
-        let mut timeline: Vec<TbSpan> = Vec::new();
-        let mut starts: HashMap<(u32, u32), u64> = HashMap::new();
         let mut tb_order: Vec<TbOrderSnapshot> = Vec::new();
         let mut last_order_sample = start_cycle;
-        let mut utilization: Vec<Vec<u64>> = vec![Vec::new(); num_sms];
-        let mut last_util_issued: Vec<u64> = vec![0; num_sms];
-        let mut last_util_sample = start_cycle;
+        // The bus: classic timeline/utilization traces are rebuilt from TB
+        // and issue events; the user tracer sees everything it asked for.
+        let mut recorder = Recorder::new(tracer, &trace, start_cycle, num_sms);
+        recorder.on_kernel_begin(&kernel.program.name, start_cycle);
+        // Hoisted: one enabled() check per launch, not per cycle.
+        let bus_on = recorder.enabled();
 
         // Initial fill happens inside the loop (1 TB per SM per cycle),
         // mirroring the hardware work distributor.
@@ -193,31 +315,34 @@ impl Gpu {
             }
             let fast_phase = !pending.is_empty();
 
-            self.mem.tick(now);
+            if bus_on {
+                self.mem.tick_traced(now, &mut recorder);
+            } else {
+                self.mem.tick(now);
+            }
             for (i, sm) in self.sms.iter_mut().enumerate() {
                 report.finished_tbs.clear();
-                sm.tick(
-                    now,
-                    &mut self.gmem,
-                    &mut self.mem,
-                    policies[i].as_mut(),
-                    fast_phase,
-                    &mut report,
-                );
-                for &g in &report.finished_tbs {
-                    outstanding -= 1;
-                    if trace.timeline {
-                        let start = starts
-                            .remove(&(sm.id, g))
-                            .expect("finish without start");
-                        timeline.push(TbSpan {
-                            sm: sm.id,
-                            global_index: g,
-                            start: start - start_cycle,
-                            end: now - start_cycle,
-                        });
-                    }
+                if bus_on {
+                    sm.tick_traced(
+                        now,
+                        &mut self.gmem,
+                        &mut self.mem,
+                        policies[i].as_mut(),
+                        fast_phase,
+                        &mut report,
+                        &mut recorder,
+                    );
+                } else {
+                    sm.tick(
+                        now,
+                        &mut self.gmem,
+                        &mut self.mem,
+                        policies[i].as_mut(),
+                        fast_phase,
+                        &mut report,
+                    );
                 }
+                outstanding -= report.finished_tbs.len() as u32;
             }
 
             // Thread block scheduler: at most one TB per SM per cycle,
@@ -231,29 +356,22 @@ impl Gpu {
                     if self.sms[i].can_accept_tb() {
                         let g = pending.pop_front().expect("non-empty");
                         let fast_after = !pending.is_empty();
-                        self.sms[i].launch_tb(g, now, policies[i].as_mut(), fast_after);
+                        self.sms[i].launch_tb_traced(
+                            g,
+                            now,
+                            policies[i].as_mut(),
+                            fast_after,
+                            &mut recorder,
+                        );
                         outstanding += 1;
-                        if trace.timeline {
-                            starts.insert((self.sms[i].id, g), now);
-                        }
                     }
                 }
                 rr_next_sm = (rr_next_sm + 1) % num_sms;
             }
 
-            // Utilization sampling (per SM issued deltas per interval).
-            if trace.utilization_period > 0
-                && now - last_util_sample >= trace.utilization_period
-            {
-                last_util_sample = now;
-                for (i, sm) in self.sms.iter().enumerate() {
-                    let issued = sm.stats.issued;
-                    utilization[i].push(issued - last_util_issued[i]);
-                    last_util_issued[i] = issued;
-                }
-            }
-
-            // Table IV sampling.
+            // Table IV sampling. This stays a direct policy poll (not a bus
+            // subscription): it reads the scheduler's internal priority
+            // state, which no microarchitectural event carries.
             if trace.tb_order_period > 0
                 && now - last_order_sample >= trace.tb_order_period
             {
@@ -278,12 +396,14 @@ impl Gpu {
         }
 
         let cycles = self.cycle - start_cycle;
+        recorder.on_kernel_end(&kernel.program.name, self.cycle, cycles);
+        let (timeline, utilization) = recorder.finish_util();
         let per_sm: Vec<SmStats> = self.sms.iter().map(|s| s.stats).collect();
         let mut agg = SmStats::default();
         for s in &per_sm {
             agg.merge(s);
         }
-        Ok(RunResult {
+        let mut result = RunResult {
             kernel: kernel.program.name.clone(),
             scheduler: policies[0].name(),
             cycles,
@@ -293,7 +413,10 @@ impl Gpu {
             timeline,
             tb_order,
             utilization,
-        })
+            metrics: Default::default(),
+        };
+        result.snapshot_metrics();
+        Ok(result)
     }
 }
 

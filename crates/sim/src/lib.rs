@@ -40,4 +40,5 @@ pub use pro_core as core;
 pub use pro_isa as isa;
 pub use pro_mem as mem;
 pub use pro_sm as smx;
+pub use pro_trace as trace;
 pub use pro_core::SchedulerKind;

@@ -4,6 +4,7 @@
 
 use pro_mem::MemStats;
 use pro_sm::SmStats;
+use pro_trace::Metrics;
 
 /// The execution interval of one thread block on one SM (Fig. 2 bars).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -49,31 +50,109 @@ pub struct RunResult {
     /// Per-SM issued-instruction counts per sampling interval (only when
     /// `TraceOptions::utilization_period` was set).
     pub utilization: Vec<Vec<u64>>,
+    /// Named end-of-run metrics registry: every counter above plus the
+    /// memory-latency / ready-warp / progress-disparity histograms,
+    /// snapshotted by [`RunResult::snapshot_metrics`]. Derived helpers
+    /// ([`RunResult::ipc`], the stall fractions) read from here first and
+    /// fall back to the raw structs when the registry is empty (e.g. on
+    /// hand-built results in tests).
+    pub metrics: Metrics,
 }
 
 impl RunResult {
+    /// Populate [`RunResult::metrics`] from the raw counter structs. Called
+    /// by the GPU at the end of every launch; idempotent.
+    pub fn snapshot_metrics(&mut self) {
+        let m = &mut self.metrics;
+        m.set_counter("cycles", self.cycles);
+        m.set_counter("sm.issued", self.sm.issued);
+        m.set_counter("sm.stall.idle", self.sm.idle);
+        m.set_counter("sm.stall.scoreboard", self.sm.scoreboard);
+        m.set_counter("sm.stall.pipeline", self.sm.pipeline);
+        m.set_counter("sm.unit_cycles", self.sm.unit_cycles);
+        m.set_counter("sm.instructions", self.sm.instructions);
+        m.set_counter("sm.thread_instructions", self.sm.thread_instructions);
+        m.set_counter("sm.wld_cycles", self.sm.wld_cycles);
+        m.set_counter("sm.tbs_completed", self.sm.tbs_completed);
+        m.set_counter("mem.l1.hits", self.mem.l1.hits);
+        m.set_counter("mem.l1.misses", self.mem.l1.misses);
+        m.set_counter("mem.l1.mshr_merges", self.mem.l1.mshr_merges);
+        m.set_counter("mem.l1.mshr_rejections", self.mem.l1.mshr_rejections);
+        m.set_counter("mem.l2.hits", self.mem.l2.hits);
+        m.set_counter("mem.l2.misses", self.mem.l2.misses);
+        m.set_counter("mem.dram.row_hits", self.mem.dram.row_hits);
+        m.set_counter("mem.dram.row_misses", self.mem.dram.row_misses);
+        m.set_counter("mem.dram.accepted", self.mem.dram.accepted);
+        m.set_counter("mem.loads", self.mem.loads);
+        m.set_counter("mem.loads_completed", self.mem.loads_completed);
+        m.set_counter("mem.load_latency_sum", self.mem.load_latency_sum);
+        m.set_counter("mem.store_lines", self.mem.store_lines);
+        m.set_hist("mem.load_latency", self.mem.load_lat_hist);
+        m.set_hist("sm.ready_warps", self.sm.ready_hist);
+        m.set_hist("sm.tb_disparity", self.sm.disparity_hist);
+    }
+
+    /// Read a counter from the registry, falling back to `raw` when the
+    /// registry has not been snapshotted.
+    fn counter_or(&self, name: &str, raw: u64) -> u64 {
+        self.metrics.counter(name).unwrap_or(raw)
+    }
+
+    fn stall(&self) -> (u64, u64, u64) {
+        (
+            self.counter_or("sm.stall.idle", self.sm.idle),
+            self.counter_or("sm.stall.scoreboard", self.sm.scoreboard),
+            self.counter_or("sm.stall.pipeline", self.sm.pipeline),
+        )
+    }
+
     /// Fraction of stall unit-cycles that were Idle.
     pub fn idle_frac(&self) -> f64 {
-        frac(self.sm.idle, self.sm.total_stalls())
+        let (i, s, p) = self.stall();
+        frac(i, i + s + p)
     }
 
     /// Fraction of stall unit-cycles that were Scoreboard.
     pub fn scoreboard_frac(&self) -> f64 {
-        frac(self.sm.scoreboard, self.sm.total_stalls())
+        let (i, s, p) = self.stall();
+        frac(s, i + s + p)
     }
 
     /// Fraction of stall unit-cycles that were Pipeline.
     pub fn pipeline_frac(&self) -> f64 {
-        frac(self.sm.pipeline, self.sm.total_stalls())
+        let (i, s, p) = self.stall();
+        frac(p, i + s + p)
     }
 
     /// Issued instructions per cycle across the whole GPU.
     pub fn ipc(&self) -> f64 {
-        if self.cycles == 0 {
+        let cycles = self.counter_or("cycles", self.cycles);
+        let instructions = self.counter_or("sm.instructions", self.sm.instructions);
+        if cycles == 0 {
             0.0
         } else {
-            self.sm.instructions as f64 / self.cycles as f64
+            instructions as f64 / cycles as f64
         }
+    }
+
+    /// One-line human-readable render, shared by `repro` and examples.
+    ///
+    /// ```text
+    /// store_tid [LRR] 4242 cycles  IPC 1.51  stalls: idle 45.2% sb 30.1% pipe 24.7%  L1 miss 12.3%  load lat 312.4
+    /// ```
+    pub fn summary(&self) -> String {
+        format!(
+            "{} [{}] {} cycles  IPC {:.2}  stalls: idle {:.1}% sb {:.1}% pipe {:.1}%  L1 miss {:.1}%  load lat {:.1}",
+            self.kernel,
+            self.scheduler,
+            self.counter_or("cycles", self.cycles),
+            self.ipc(),
+            100.0 * self.idle_frac(),
+            100.0 * self.scoreboard_frac(),
+            100.0 * self.pipeline_frac(),
+            100.0 * self.mem.l1.miss_rate(),
+            self.mem.avg_load_latency(),
+        )
     }
 }
 
@@ -118,16 +197,14 @@ mod tests {
                 unit_cycles: idle + sb + pipe + 10,
                 instructions: 10,
                 thread_instructions: 320,
-                wld_cycles: 0,
-                tbs_completed: 0,
-                ready_warp_sum: 0,
-                ready_samples: 0,
+                ..Default::default()
             },
             per_sm: vec![],
             mem: MemStats::default(),
             timeline: vec![],
             tb_order: vec![],
             utilization: vec![],
+            metrics: Metrics::default(),
         }
     }
 
@@ -151,6 +228,33 @@ mod tests {
     fn ipc_computation() {
         let r = result(1, 1, 1);
         assert!((r.ipc() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn metrics_snapshot_agrees_with_raw_helpers() {
+        let mut r = result(50, 30, 20);
+        let (ipc_raw, idle_raw) = (r.ipc(), r.idle_frac());
+        r.snapshot_metrics();
+        assert!(!r.metrics.is_empty());
+        assert_eq!(r.metrics.counter("cycles"), Some(100));
+        assert_eq!(r.metrics.counter("sm.stall.idle"), Some(50));
+        // Registry-derived values equal the raw-struct fallbacks exactly.
+        assert_eq!(r.ipc(), ipc_raw);
+        assert_eq!(r.idle_frac(), idle_raw);
+        // Idempotent.
+        r.snapshot_metrics();
+        assert_eq!(r.metrics.counter("cycles"), Some(100));
+    }
+
+    #[test]
+    fn summary_renders_key_figures() {
+        let mut r = result(50, 30, 20);
+        r.snapshot_metrics();
+        let s = r.summary();
+        assert!(s.contains("k [LRR] 100 cycles"));
+        assert!(s.contains("IPC 0.10"));
+        assert!(s.contains("idle 50.0%"));
+        assert!(s.lines().count() == 1, "one line: {s}");
     }
 
     #[test]

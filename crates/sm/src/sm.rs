@@ -28,6 +28,7 @@ use crate::shared::SharedMem;
 use pro_core::{IssueInfo, SchedView, TbState, WarpScheduler, WarpState};
 use pro_isa::{Instr, Kernel, PipeClass, Program, WARP_SIZE};
 use pro_mem::{AccessId, AccessOutcome, GlobalMem, MemSubsystem};
+use pro_trace::{req_id, Event as TraceEvent, EventClass, Hist16, NoopTracer, StallReason, Tracer};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::sync::Arc;
@@ -134,6 +135,13 @@ pub struct SmStats {
     pub ready_warp_sum: u64,
     /// Number of ready-warp samples taken.
     pub ready_samples: u64,
+    /// Distribution of the sampled ready-warp counts (same samples as
+    /// `ready_warp_sum` / `ready_samples`).
+    pub ready_hist: Hist16,
+    /// Per-TB warp-progress disparity at retirement: max − min
+    /// thread-instruction progress among the TB's warps — the §III.E
+    /// imbalance PRO's laggard prioritization attacks.
+    pub disparity_hist: Hist16,
 }
 
 impl SmStats {
@@ -174,6 +182,8 @@ impl SmStats {
         self.tbs_completed += o.tbs_completed;
         self.ready_warp_sum += o.ready_warp_sum;
         self.ready_samples += o.ready_samples;
+        self.ready_hist.merge(&o.ready_hist);
+        self.disparity_hist.merge(&o.disparity_hist);
     }
 }
 
@@ -369,12 +379,26 @@ impl Sm {
 
     /// Launch TB `global_index` of the bound kernel. Returns the TB slot.
     /// Caller must have checked [`Sm::can_accept_tb`].
+    ///
+    /// Untraced convenience wrapper around [`Sm::launch_tb_traced`].
     pub fn launch_tb(
         &mut self,
         global_index: u32,
         now: u64,
         policy: &mut dyn WarpScheduler,
         fast_phase: bool,
+    ) -> usize {
+        self.launch_tb_traced(global_index, now, policy, fast_phase, &mut NoopTracer)
+    }
+
+    /// [`Sm::launch_tb`] publishing a `TbLaunch` event to `tracer`.
+    pub fn launch_tb_traced(
+        &mut self,
+        global_index: u32,
+        now: u64,
+        policy: &mut dyn WarpScheduler,
+        fast_phase: bool,
+        tracer: &mut dyn Tracer,
     ) -> usize {
         let program = Arc::clone(self.program.as_ref().expect("kernel bound"));
         let slot = (0..self.usable_tb_slots())
@@ -421,6 +445,16 @@ impl Sm {
         self.used_regs += program.regs as u32 * self.threads_per_tb;
         self.live_tbs += 1;
         self.first_warp_finish[slot] = None;
+        if tracer.wants(EventClass::Tb) {
+            tracer.emit(
+                now,
+                &TraceEvent::TbLaunch {
+                    sm: self.id,
+                    tb_slot: slot as u32,
+                    global_index,
+                },
+            );
+        }
         let view = SchedView {
             cycle: now,
             warps: &self.sched_warps,
@@ -449,10 +483,19 @@ impl Sm {
         self.wb_events.push(Reverse((t, self.wb_seq, idx)));
     }
 
-    fn release_write(&mut self, warp: usize, ws: WriteSet) {
+    fn release_write(&mut self, warp: usize, ws: WriteSet, now: u64, tracer: &mut dyn Tracer) {
         self.warps[warp].scoreboard.release(ws);
         self.sched_warps[warp].blocked_on_longlat =
             self.warps[warp].scoreboard.longlat_pending();
+        if tracer.wants(EventClass::Scoreboard) {
+            tracer.emit(
+                now,
+                &TraceEvent::ScoreboardClear {
+                    sm: self.id,
+                    warp: warp as u32,
+                },
+            );
+        }
     }
 
     fn maybe_release_barrier(
@@ -461,10 +504,20 @@ impl Sm {
         now: u64,
         policy: &mut dyn WarpScheduler,
         fast_phase: bool,
+        tracer: &mut dyn Tracer,
     ) {
         let t = &self.sched_tbs[tb];
         if t.warps_at_barrier == 0 || t.warps_at_barrier + t.warps_finished < t.num_warps {
             return;
+        }
+        if tracer.wants(EventClass::Barrier) {
+            tracer.emit(
+                now,
+                &TraceEvent::BarrierRelease {
+                    sm: self.id,
+                    tb_slot: tb as u32,
+                },
+            );
         }
         // Release.
         let base = tb * self.warps_per_tb;
@@ -486,9 +539,38 @@ impl Sm {
         policy.on_barrier_release(tb, &view);
     }
 
-    fn retire_tb(&mut self, tb: usize, now: u64, policy: &mut dyn WarpScheduler, fast: bool) {
+    fn retire_tb(
+        &mut self,
+        tb: usize,
+        now: u64,
+        policy: &mut dyn WarpScheduler,
+        fast: bool,
+        tracer: &mut dyn Tracer,
+    ) {
         let program = self.program.as_ref().expect("kernel bound");
         let base = tb * self.warps_per_tb;
+        // Warp-progress disparity within the retiring TB (§III.E): the gap
+        // between its most and least advanced warps, in thread-instructions.
+        let mut min_p = u64::MAX;
+        let mut max_p = 0u64;
+        for i in 0..self.warps_per_tb {
+            let p = self.sched_warps[base + i].progress;
+            min_p = min_p.min(p);
+            max_p = max_p.max(p);
+        }
+        self.stats
+            .disparity_hist
+            .observe(max_p.saturating_sub(min_p));
+        if tracer.wants(EventClass::Tb) {
+            tracer.emit(
+                now,
+                &TraceEvent::TbComplete {
+                    sm: self.id,
+                    tb_slot: tb as u32,
+                    global_index: self.sched_tbs[tb].global_index,
+                },
+            );
+        }
         for i in 0..self.warps_per_tb {
             let w = base + i;
             self.warps[w].retire();
@@ -509,6 +591,8 @@ impl Sm {
     }
 
     /// Advance one cycle.
+    ///
+    /// Untraced convenience wrapper around [`Sm::tick_traced`].
     #[allow(clippy::too_many_arguments)]
     pub fn tick(
         &mut self,
@@ -519,6 +603,22 @@ impl Sm {
         fast_phase: bool,
         report: &mut TickReport,
     ) {
+        self.tick_traced(now, gmem, mem, policy, fast_phase, report, &mut NoopTracer)
+    }
+
+    /// [`Sm::tick`] publishing issue/stall, scoreboard, barrier, SIMT, TB
+    /// and memory-lifecycle events to `tracer`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn tick_traced(
+        &mut self,
+        now: u64,
+        gmem: &mut GlobalMem,
+        mem: &mut MemSubsystem,
+        policy: &mut dyn WarpScheduler,
+        fast_phase: bool,
+        report: &mut TickReport,
+        tracer: &mut dyn Tracer,
+    ) {
         // 1. Memory completions.
         //    (collect first: drain borrows mem mutably)
         {
@@ -528,7 +628,7 @@ impl Sm {
                     .access_map
                     .remove(&a)
                     .expect("completion for unknown access");
-                self.release_write(warp, ws);
+                self.release_write(warp, ws, now, tracer);
             }
         }
 
@@ -539,7 +639,7 @@ impl Sm {
             }
             self.wb_events.pop();
             let rec = self.wb_pool[idx];
-            self.release_write(rec.warp, rec.ws);
+            self.release_write(rec.warp, rec.ws, now, tracer);
         }
 
         // 3. LSU head progress.
@@ -552,7 +652,8 @@ impl Sm {
                     is_write,
                 } => {
                     let line = lines[*next];
-                    let outcome = mem.access_line(now, self.id, *access, line, *is_write);
+                    let outcome =
+                        mem.access_line_traced(now, self.id, *access, line, *is_write, tracer);
                     if outcome == AccessOutcome::Accepted {
                         *next += 1;
                         if *next == lines.len() {
@@ -585,7 +686,7 @@ impl Sm {
             policy.begin_cycle(&view);
         }
         for unit in 0..self.cfg.units {
-            self.issue_unit(unit, now, gmem, mem, policy, fast_phase, report);
+            self.issue_unit(unit, now, gmem, mem, policy, fast_phase, report, tracer);
             self.stats.unit_cycles += 1;
         }
     }
@@ -600,7 +701,14 @@ impl Sm {
         policy: &mut dyn WarpScheduler,
         fast_phase: bool,
         report: &mut TickReport,
+        tracer: &mut dyn Tracer,
     ) {
+        // Hoisted trace gates: one virtual call each, once per unit-cycle.
+        let trace_stall = tracer.wants(EventClass::Stall);
+        let trace_issue = tracer.wants(EventClass::Issue);
+        let trace_simt = tracer.wants(EventClass::Simt);
+        let trace_sb = tracer.wants(EventClass::Scoreboard);
+
         // Candidates: live, unfinished warps of this unit.
         self.cand_buf.clear();
         for w in 0..self.cfg.max_warps {
@@ -641,6 +749,7 @@ impl Sm {
             }
             self.stats.ready_warp_sum += ready;
             self.stats.ready_samples += 1;
+            self.stats.ready_hist.observe(ready);
         }
 
         let mut saw_valid = false;
@@ -655,7 +764,16 @@ impl Sm {
             if now < warp.ibuf_ready_at {
                 continue; // instruction not yet fetched — contributes to Idle
             }
-            warp.simt.reconverge();
+            if trace_simt {
+                let depth_before = warp.simt.depth();
+                warp.simt.reconverge();
+                if warp.simt.depth() < depth_before {
+                    let (sm, pc) = (self.id, warp.pc());
+                    tracer.emit(now, &TraceEvent::SimtReconverge { sm, warp: w as u32, pc });
+                }
+            } else {
+                warp.simt.reconverge();
+            }
             let instr = *program.fetch(warp.pc());
             saw_valid = true;
             if !warp.scoreboard.ready(&instr) {
@@ -690,12 +808,45 @@ impl Sm {
         }
 
         let Some((w, instr)) = chosen else {
-            if !saw_valid {
+            let reason = if !saw_valid {
                 self.stats.idle += 1;
+                StallReason::Idle
             } else if !saw_ready {
                 self.stats.scoreboard += 1;
+                StallReason::Scoreboard
             } else {
                 self.stats.pipeline += 1;
+                StallReason::Pipeline
+            };
+            if trace_stall {
+                tracer.emit(now, &TraceEvent::UnitStall { sm: self.id, unit, reason });
+                // Per-warp attribution: re-classify each candidate on this
+                // stalled cycle (second pass only when a tracer asked).
+                for i in 0..self.order_buf.len() {
+                    let w = self.order_buf[i];
+                    let warp = &self.warps[w];
+                    let reason = if warp.at_barrier
+                        || warp.finished
+                        || !warp.valid
+                        || now < warp.ibuf_ready_at
+                    {
+                        StallReason::Idle
+                    } else {
+                        let instr = program.fetch(warp.pc());
+                        if !warp.scoreboard.ready(instr)
+                            || (matches!(instr, Instr::Exit | Instr::Bar { .. })
+                                && warp.scoreboard.any_pending())
+                        {
+                            StallReason::Scoreboard
+                        } else {
+                            StallReason::Pipeline
+                        }
+                    };
+                    tracer.emit(
+                        now,
+                        &TraceEvent::WarpStall { sm: self.id, warp: w as u32, reason },
+                    );
+                }
             }
             return;
         };
@@ -708,6 +859,8 @@ impl Sm {
             nctaid: self.nctaid,
         };
         let mut lines = std::mem::take(&mut self.lines_buf);
+        let issue_pc = self.warps[w].pc();
+        let depth_before = self.warps[w].simt.depth();
         let (effect, active) = {
             let (warp, shared) = {
                 // Split borrow: warp slot and its TB's shared memory.
@@ -717,6 +870,25 @@ impl Sm {
             };
             warp.execute(&program, &ctx, gmem, shared, &mut lines)
         };
+        if trace_issue {
+            tracer.emit(
+                now,
+                &TraceEvent::WarpIssue {
+                    sm: self.id,
+                    unit,
+                    warp: w as u32,
+                    tb_slot: tb as u32,
+                    pc: issue_pc,
+                    active,
+                },
+            );
+        }
+        if trace_simt && self.warps[w].simt.depth() > depth_before {
+            tracer.emit(
+                now,
+                &TraceEvent::SimtDiverge { sm: self.id, warp: w as u32, pc: issue_pc },
+            );
+        }
         self.stats.issued += 1;
         self.stats.instructions += 1;
         self.stats.thread_instructions += active as u64;
@@ -726,24 +898,42 @@ impl Sm {
         self.warps[w].ibuf_ready_at = now + self.cfg.fetch_lat;
 
         let ws = Scoreboard::write_set(&instr);
+        let mut sb_set = false; // emits one ScoreboardSet below when true
+        let mut sb_longlat = false;
         match effect {
             ExecEffect::Alu(class) => {
                 if !ws.is_empty() {
                     self.warps[w].scoreboard.reserve(ws, false);
+                    sb_set = true;
                     self.schedule_wb(now + self.cfg.alu_lat(class), WbRec { warp: w, ws });
                 }
             }
             ExecEffect::Sfu => {
                 self.sfu_free_at = now + self.cfg.sfu_ii;
                 self.warps[w].scoreboard.reserve(ws, false);
+                sb_set = true;
                 self.schedule_wb(now + self.cfg.sfu_lat, WbRec { warp: w, ws });
             }
             ExecEffect::GlobalLoad => {
                 let access = self.next_access;
                 self.next_access += 1;
                 self.warps[w].scoreboard.reserve(ws, true);
+                sb_set = true;
+                sb_longlat = true;
                 self.sched_warps[w].blocked_on_longlat = true;
                 mem.begin_load(now, self.id, access, lines.len() as u32);
+                if tracer.wants(EventClass::Mem) {
+                    tracer.emit(
+                        now,
+                        &TraceEvent::Coalesce {
+                            sm: self.id,
+                            warp: w as u32,
+                            req: req_id(self.id, access),
+                            lines: lines.len() as u32,
+                            store: false,
+                        },
+                    );
+                }
                 self.access_map.insert(access, (w, ws));
                 self.lsu.push_back(LsuEntry::Global {
                     access,
@@ -753,6 +943,18 @@ impl Sm {
                 });
             }
             ExecEffect::GlobalStore => {
+                if tracer.wants(EventClass::Mem) {
+                    tracer.emit(
+                        now,
+                        &TraceEvent::Coalesce {
+                            sm: self.id,
+                            warp: w as u32,
+                            req: u64::MAX, // stores are fire-and-forget: no id
+                            lines: lines.len() as u32,
+                            store: true,
+                        },
+                    );
+                }
                 self.lsu.push_back(LsuEntry::Global {
                     access: u64::MAX,
                     lines: lines.clone(),
@@ -762,6 +964,7 @@ impl Sm {
             }
             ExecEffect::SharedLoad { occupancy } | ExecEffect::SharedAtomic { occupancy } => {
                 self.warps[w].scoreboard.reserve(ws, false);
+                sb_set = true;
                 self.lsu.push_back(LsuEntry::Shared {
                     warp: w,
                     remaining: occupancy,
@@ -778,6 +981,16 @@ impl Sm {
             ExecEffect::Barrier => {
                 self.sched_warps[w].at_barrier = true;
                 self.sched_tbs[tb].warps_at_barrier += 1;
+                if tracer.wants(EventClass::Barrier) {
+                    tracer.emit(
+                        now,
+                        &TraceEvent::BarrierArrive {
+                            sm: self.id,
+                            tb_slot: tb as u32,
+                            warp: w as u32,
+                        },
+                    );
+                }
                 let view = SchedView {
                     cycle: now,
                     warps: &self.sched_warps,
@@ -785,7 +998,7 @@ impl Sm {
                     tbs_waiting_in_tb_scheduler: fast_phase,
                 };
                 policy.on_barrier_arrive(w, tb, &view);
-                self.maybe_release_barrier(tb, now, policy, fast_phase);
+                self.maybe_release_barrier(tb, now, policy, fast_phase, tracer);
             }
             ExecEffect::Exit => {
                 self.sched_warps[w].finished = true;
@@ -805,14 +1018,24 @@ impl Sm {
                     let first = self.first_warp_finish[tb].expect("set at first exit");
                     self.stats.wld_cycles += now - first;
                     self.stats.tbs_completed += 1;
-                    self.retire_tb(tb, now, policy, fast_phase);
+                    self.retire_tb(tb, now, policy, fast_phase, tracer);
                 } else {
                     // A finishing warp can be the last arrival a barrier was
                     // waiting on.
-                    self.maybe_release_barrier(tb, now, policy, fast_phase);
+                    self.maybe_release_barrier(tb, now, policy, fast_phase, tracer);
                 }
             }
             ExecEffect::Branch | ExecEffect::Nop => {}
+        }
+        if sb_set && trace_sb {
+            tracer.emit(
+                now,
+                &TraceEvent::ScoreboardSet {
+                    sm: self.id,
+                    warp: w as u32,
+                    longlat: sb_longlat,
+                },
+            );
         }
         self.lines_buf = lines;
         policy.on_issue(
@@ -1213,6 +1436,101 @@ mod tests {
             "SFU II must produce pipeline stalls: {:?}",
             rig.sm.stats
         );
+    }
+
+    #[test]
+    fn traced_run_mirrors_stats_exactly() {
+        use pro_trace::{count_unit_stalls, Event as Ev, RingTracer};
+        let k = simple_kernel(2, 96);
+        let mut rig = Rig::new(&k, SchedulerKind::Lrr);
+        let mut tracer = RingTracer::new(1 << 20);
+        rig.sm
+            .launch_tb_traced(0, rig.now, rig.policy.as_mut(), true, &mut tracer);
+        rig.sm
+            .launch_tb_traced(1, rig.now, rig.policy.as_mut(), true, &mut tracer);
+        while rig.sm.busy() {
+            let mut rep = TickReport::default();
+            rig.mem.tick_traced(rig.now, &mut tracer);
+            rig.sm.tick_traced(
+                rig.now,
+                &mut rig.gmem,
+                &mut rig.mem,
+                rig.policy.as_mut(),
+                true,
+                &mut rep,
+                &mut tracer,
+            );
+            rig.now += 1;
+            assert!(rig.now < 100_000);
+        }
+        let s = rig.sm.stats;
+        // Every UnitStall / WarpIssue event corresponds 1:1 with a counter
+        // increment — this is what lets trace-report reproduce the paper's
+        // stall fractions exactly.
+        let (idle, sb, pipe) = count_unit_stalls(tracer.records());
+        assert_eq!(idle, s.idle);
+        assert_eq!(sb, s.scoreboard);
+        assert_eq!(pipe, s.pipeline);
+        let issues = tracer
+            .records()
+            .filter(|r| matches!(r.event, Ev::WarpIssue { .. }))
+            .count() as u64;
+        assert_eq!(issues, s.issued);
+        let launches = tracer
+            .records()
+            .filter(|r| matches!(r.event, Ev::TbLaunch { .. }))
+            .count();
+        let completes = tracer
+            .records()
+            .filter(|r| matches!(r.event, Ev::TbComplete { .. }))
+            .count() as u64;
+        assert_eq!(launches, 2);
+        assert_eq!(completes, s.tbs_completed);
+        assert_eq!(s.disparity_hist.total(), s.tbs_completed);
+        // Scoreboard sets and clears must balance on a drained SM.
+        let sets = tracer
+            .records()
+            .filter(|r| matches!(r.event, Ev::ScoreboardSet { .. }))
+            .count();
+        let clears = tracer
+            .records()
+            .filter(|r| matches!(r.event, Ev::ScoreboardClear { .. }))
+            .count();
+        assert_eq!(sets, clears, "every reserve is eventually released");
+        assert!(sets > 0);
+    }
+
+    #[test]
+    fn disabled_tracer_emits_nothing_and_changes_nothing() {
+        use pro_trace::PanicTracer;
+        let k = simple_kernel(1, 64);
+        // Traced run with a PanicTracer: proves every emission site checks
+        // `wants` first (PanicTracer aborts on any delivery).
+        let mut rig = Rig::new(&k, SchedulerKind::Lrr);
+        let mut panic_tracer = PanicTracer;
+        rig.sm
+            .launch_tb_traced(0, 0, rig.policy.as_mut(), true, &mut panic_tracer);
+        while rig.sm.busy() {
+            let mut rep = TickReport::default();
+            rig.mem.tick_traced(rig.now, &mut panic_tracer);
+            rig.sm.tick_traced(
+                rig.now,
+                &mut rig.gmem,
+                &mut rig.mem,
+                rig.policy.as_mut(),
+                true,
+                &mut rep,
+                &mut panic_tracer,
+            );
+            rig.now += 1;
+            assert!(rig.now < 100_000);
+        }
+        let traced_stats = rig.sm.stats;
+        // Untraced run: identical timing and counters.
+        let mut rig2 = Rig::new(&k, SchedulerKind::Lrr);
+        rig2.launch(0);
+        rig2.run(100_000);
+        assert_eq!(traced_stats, rig2.sm.stats, "tracing must not perturb timing");
     }
 
     #[test]

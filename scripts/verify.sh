@@ -43,4 +43,32 @@ cargo test -q
 echo "== rustdoc: must be warning-free =="
 RUSTDOCFLAGS="--deny warnings" cargo doc --no-deps
 
+echo "== trace: golden lifecycle + zero-overhead proofs =="
+# Belt-and-braces: these are part of `cargo test` above, but run them by
+# name so a filtered or partial test invocation can't silently skip the
+# observability gates (event order, cycle deltas, allocation parity).
+cargo test -q -p pro-sim --test trace_golden --test trace_overhead
+
+echo "== trace: Chrome export parses and report cross-checks =="
+# `repro trace` writes a JSONL stream + Chrome trace_event JSON into the
+# working directory, re-reduces the stream, and prints the max deviation
+# between trace-derived and counter-derived stall shares (must be ~0).
+tracedir=$(mktemp -d)
+trap 'rm -rf "$tracedir"' EXIT
+(cd "$tracedir" && "$OLDPWD/target/release/repro" trace laplace3d pro) \
+    | tee "$tracedir/out.txt"
+grep -q 'deviation: 0.0e0' "$tracedir/out.txt" || {
+    echo "ERROR: trace-report disagrees with simulator counters" >&2
+    exit 1
+}
+grep -q '"traceEvents":\[' "$tracedir"/trace_laplace3d_pro.chrome.json || {
+    echo "ERROR: Chrome export missing traceEvents envelope" >&2
+    exit 1
+}
+target/release/repro trace-report "$tracedir/trace_laplace3d_pro.jsonl" \
+    | grep -q 'kernel laplace3d' || {
+    echo "ERROR: trace-report could not reduce the JSONL stream" >&2
+    exit 1
+}
+
 echo "== verify: all green =="

@@ -1,0 +1,127 @@
+//! Proof that tracing is pay-for-what-you-use:
+//!
+//! * with the bus disabled ([`NoopTracer`] — the plain [`Gpu::launch`]
+//!   path), no event is constructed and no extra heap allocation happens;
+//! * a [`PanicTracer`] (reports `enabled() == false` but panics on any
+//!   `emit`) survives a full launch, proving every emission site is gated;
+//! * a preallocated [`RingTracer`] captures every class without a single
+//!   additional allocation over the untraced run;
+//! * traced and untraced runs produce bit-identical statistics — the
+//!   observer does not perturb the simulation.
+//!
+//! The allocation counter is a wrapping `#[global_allocator]`; this file is
+//! its own test binary, so the counter sees only this test's allocations.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use pro_sim::isa::{Kernel, LaunchConfig, ProgramBuilder, Src};
+use pro_sim::trace::{PanicTracer, RingTracer, Tracer};
+use pro_sim::{Gpu, GpuConfig, RunResult, SchedulerKind, TraceOptions};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Allocations performed while running `f`.
+fn allocs_during<R>(f: impl FnOnce() -> R) -> (u64, R) {
+    let before = ALLOCS.load(Ordering::Relaxed);
+    let r = f();
+    (ALLOCS.load(Ordering::Relaxed) - before, r)
+}
+
+fn kernel(gpu: &mut Gpu, tbs: u32) -> Kernel {
+    let base = gpu.gmem.alloc(u64::from(tbs) * 64 * 4);
+    let mut b = ProgramBuilder::new("overhead");
+    let (g, a, v) = (b.reg(), b.reg(), b.reg());
+    b.global_tid(g);
+    b.buf_addr(a, 0, g, 0);
+    b.ld_global(v, a, 0);
+    b.imul(v, v, Src::Reg(v));
+    b.bar();
+    b.st_global(v, a, 0);
+    b.exit();
+    Kernel::new(
+        b.build().expect("valid kernel"),
+        LaunchConfig::linear(tbs, 64),
+        vec![base as u32],
+    )
+}
+
+fn run(tracer: &mut dyn Tracer) -> RunResult {
+    let mut gpu = Gpu::new(GpuConfig::small(2), 1 << 20);
+    let k = kernel(&mut gpu, 8);
+    gpu.launch_traced(&k, SchedulerKind::Pro, TraceOptions::default(), tracer)
+        .expect("completes")
+}
+
+/// Strip a result down to the fields that must be observer-independent.
+fn fingerprint(r: &RunResult) -> (u64, u64, u64, u64, u64, u64, u64) {
+    (
+        r.cycles,
+        r.sm.issued,
+        r.sm.idle,
+        r.sm.scoreboard,
+        r.sm.pipeline,
+        r.mem.l1.misses,
+        r.mem.dram.row_hits,
+    )
+}
+
+#[test]
+fn disabled_bus_survives_panic_tracer() {
+    // PanicTracer::emit panics: completing at all proves no emission site
+    // runs when `enabled()`/`wants()` answer false.
+    let r = run(&mut PanicTracer);
+    assert!(r.cycles > 0);
+}
+
+#[test]
+fn noop_and_panic_and_ring_runs_are_bit_identical() {
+    let noop = run(&mut pro_sim::trace::NoopTracer);
+    let panic = run(&mut PanicTracer);
+    let mut ring = RingTracer::new(1 << 20);
+    let ringed = run(&mut ring);
+    assert_eq!(fingerprint(&noop), fingerprint(&panic));
+    assert_eq!(fingerprint(&noop), fingerprint(&ringed));
+    assert!(ring.total_emitted() > 0, "ring actually observed the run");
+}
+
+#[test]
+fn tracing_adds_zero_allocations() {
+    // Warm up: lazy statics, allocator pools, page-fault noise.
+    let _ = run(&mut pro_sim::trace::NoopTracer);
+
+    let (a_noop, _) = allocs_during(|| run(&mut pro_sim::trace::NoopTracer));
+    let (a_noop2, _) = allocs_during(|| run(&mut pro_sim::trace::NoopTracer));
+    assert_eq!(
+        a_noop, a_noop2,
+        "untraced launch allocation count must be deterministic"
+    );
+
+    // A preallocated ring subscribed to every class: same simulation, same
+    // allocation count — emitting into the ring never touches the heap.
+    let mut ring = RingTracer::new(1 << 20);
+    let (a_ring, _) = allocs_during(|| run(&mut ring));
+    assert_eq!(
+        a_ring, a_noop,
+        "ring-traced launch allocated beyond the preallocated buffer"
+    );
+}
