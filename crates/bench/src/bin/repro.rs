@@ -1,12 +1,21 @@
 //! `repro` — regenerate every table and figure of the PRO paper.
 //!
 //! ```text
-//! repro <command> [--full-scale] [--quick]
+//! repro <command> [--full-scale] [--quick] [--jobs N] [--sm-workers N]
 //! commands: config workloads fig1 fig2 fig4 fig5 table3 table4 ablation all
 //! ```
 //!
 //! `--full-scale` runs the exact Table II grid sizes (slow);
 //! `--quick` restricts kernel sweeps to one kernel per application.
+//!
+//! Parallelism knobs — both are host-side only and never change results:
+//!
+//! * `--jobs N` runs independent (kernel × scheduler) simulations on `N`
+//!   pool threads (0 or unset = all cores). Output is byte-identical at
+//!   any `N` because results are collected in submission order.
+//! * `--sm-workers N` parallelizes the SM array *inside* each simulation
+//!   (the phase-split engine); counters and traces are bit-identical to
+//!   the serial engine.
 
 use pro_bench::{geomean_finite, parallel_map, ratio, run_cell_with, speedup, AppTotals, Cell};
 use pro_core::SchedulerKind;
@@ -24,6 +33,7 @@ fn main() {
     let quick = args.iter().any(|a| a == "--quick");
     // Optional --config <path>: override the simulated machine for every
     // experiment run in this invocation.
+    let mut machine_override: Option<GpuConfig> = None;
     if let Some(pos) = args.iter().position(|a| a == "--config") {
         let path = args
             .get(pos + 1)
@@ -33,12 +43,25 @@ fn main() {
             })
             .clone();
         match pro_sim::load_config(std::path::Path::new(&path)) {
-            Ok(cfg) => set_machine(cfg),
+            Ok(cfg) => machine_override = Some(cfg),
             Err(e) => {
                 eprintln!("{path}: {e}");
                 std::process::exit(2);
             }
         }
+    }
+    // Optional --sm-workers <N>: intra-run parallel engine width.
+    if let Some(n) = flag_value(&args, "--sm-workers") {
+        let mut cfg = machine_override.unwrap_or_else(GpuConfig::gtx480);
+        cfg.sm_workers = n;
+        machine_override = Some(cfg);
+    }
+    if let Some(cfg) = machine_override {
+        set_machine(cfg);
+    }
+    // Optional --jobs <N>: experiment-pool width (independent simulations).
+    if let Some(n) = flag_value(&args, "--jobs") {
+        pro_core::pool::set_default_jobs(n);
     }
     match cmd {
         "config" => config(),
@@ -84,8 +107,20 @@ fn main() {
             eprintln!(
                 "usage: repro <config|workloads|fig1|fig2|fig4|fig5|table3|table4|ablation|sweep|wld|cache|ready|occupancy|synthsweep|svg|json|dram|all> \
                  | disasm <kernel> | trace [kernel] [tl|lrr|gto|pro] | trace-report <file.jsonl> \
-                 [--full-scale] [--quick]"
+                 [--full-scale] [--quick] [--jobs N] [--sm-workers N]"
             );
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Parse `--name N` from the argument list (None if absent or malformed).
+fn flag_value(args: &[String], name: &str) -> Option<usize> {
+    let pos = args.iter().position(|a| a == name)?;
+    match args.get(pos + 1).and_then(|v| v.parse::<usize>().ok()) {
+        Some(n) => Some(n),
+        None => {
+            eprintln!("{name} requires a non-negative integer");
             std::process::exit(2);
         }
     }

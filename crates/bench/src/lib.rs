@@ -94,33 +94,13 @@ pub fn run_matrix(scheds: &[SchedulerKind], scale: Scale) -> Vec<Cell> {
     parallel_map(&jobs, |(w, s)| run_cell(w, *s, scale))
 }
 
-/// Map `f` over `items` on up to `available_parallelism` threads,
-/// preserving order. Each item is an independent simulation; results are
-/// deterministic regardless of thread count.
-pub fn parallel_map<T: Sync, R: Send>(
-    items: &[T],
-    f: impl Fn(&T) -> R + Sync,
-) -> Vec<R> {
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(items.len().max(1));
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
-    let slots_mutex = std::sync::Mutex::new(&mut slots);
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= items.len() {
-                    break;
-                }
-                let r = f(&items[i]);
-                slots_mutex.lock().expect("poisoned")[i] = Some(r);
-            });
-        }
-    });
-    slots.into_iter().map(|r| r.expect("filled")).collect()
+/// Map `f` over `items` on the experiment thread pool
+/// ([`pro_core::pool`]), preserving submission order. The worker count
+/// honours the process default set by `--jobs`
+/// ([`pro_core::pool::set_default_jobs`]); each item is an independent
+/// simulation, so results are deterministic regardless of thread count.
+pub fn parallel_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
+    pro_core::pool::run(0, items, f)
 }
 
 /// Per-application cycle and stall totals (kernels of an app summed), as

@@ -98,12 +98,33 @@ impl Runner {
     /// `cargo bench` invokes `harness = false` targets with `--bench` (and
     /// any user-supplied trailing args); every argument starting with `-`
     /// is ignored, and the first remaining argument becomes a substring
-    /// filter on `group/name`. `PRO_BENCH_ITERS` / `PRO_BENCH_WARMUP`
-    /// override the iteration counts.
+    /// filter on `group/name`. `--jobs N` (or `--jobs=N`) sets the
+    /// experiment-pool worker count ([`pro_core::pool::set_default_jobs`])
+    /// and its value is *not* treated as the filter.
+    /// `PRO_BENCH_ITERS` / `PRO_BENCH_WARMUP` override the iteration
+    /// counts.
     pub fn from_args(group: &str) -> Self {
-        let filter = std::env::args()
-            .skip(1)
-            .find(|a| !a.starts_with('-'));
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut filter: Option<String> = None;
+        let mut i = 0;
+        while i < args.len() {
+            let a = &args[i];
+            if a == "--jobs" {
+                if let Some(n) = args.get(i + 1).and_then(|v| v.parse::<usize>().ok()) {
+                    pro_core::pool::set_default_jobs(n);
+                }
+                i += 2;
+                continue;
+            }
+            if let Some(v) = a.strip_prefix("--jobs=") {
+                if let Ok(n) = v.parse::<usize>() {
+                    pro_core::pool::set_default_jobs(n);
+                }
+            } else if !a.starts_with('-') && filter.is_none() {
+                filter = Some(a.clone());
+            }
+            i += 1;
+        }
         Self::with_options(group, filter, env_u32("PRO_BENCH_WARMUP", DEFAULT_WARMUP), env_u32("PRO_BENCH_ITERS", DEFAULT_ITERS))
     }
 

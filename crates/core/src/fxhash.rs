@@ -1,0 +1,137 @@
+//! A fast, deterministic `HashMap` hasher for simulator hot paths.
+//!
+//! `std`'s default SipHash is DoS-resistant but costs real time on maps
+//! that are hit every cycle (the L1 MSHR table, the DRAM outstanding-load
+//! map). Those maps are never iterated — only point lookups, inserts and
+//! removes — so swapping the hasher cannot change simulation behaviour,
+//! only wall-clock time.
+//!
+//! The function is the multiply-xor scheme used by rustc's `FxHasher`:
+//! fold each 8-byte chunk into the state with
+//! `state = (state.rotate_left(5) ^ chunk) * K` for a fixed odd constant
+//! `K`. No per-process random seed — hashes are identical across runs and
+//! platforms of the same word width, which suits a simulator whose whole
+//! point is reproducibility.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// The multiplier from rustc's FxHash (64-bit golden-ratio-ish odd constant).
+const K: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// Non-cryptographic multiply-xor hasher. See the module docs for the
+/// determinism and non-iteration caveats.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    state: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(5) ^ word).wrapping_mul(K);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in chunks.by_ref() {
+            self.add(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            self.add(u64::from_le_bytes(tail));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`]; `Default` yields the same (zero) seed
+/// every time, so maps hash identically across runs.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// Drop-in `HashMap` with the Fx hasher.
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// Drop-in `HashSet` with the Fx hasher.
+pub type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_works_like_std() {
+        let mut m: FxHashMap<u64, u32> = FxHashMap::default();
+        for i in 0..1000u64 {
+            m.insert(i * 7, i as u32);
+        }
+        assert_eq!(m.len(), 1000);
+        for i in 0..1000u64 {
+            assert_eq!(m.get(&(i * 7)), Some(&(i as u32)));
+        }
+        assert_eq!(m.remove(&(7 * 500)), Some(500));
+        assert!(!m.contains_key(&(7 * 500)));
+        assert_eq!(m.len(), 999);
+    }
+
+    #[test]
+    fn hashes_are_deterministic() {
+        // Two independently built hashers agree — no per-instance seed.
+        let hash = |n: u64| {
+            let mut h = FxHasher::default();
+            h.write_u64(n);
+            h.finish()
+        };
+        assert_eq!(hash(0xdead_beef), hash(0xdead_beef));
+        assert_ne!(hash(1), hash(2));
+    }
+
+    #[test]
+    fn byte_writes_cover_tail_paths() {
+        let mut h = FxHasher::default();
+        h.write(&[1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11]); // one chunk + 3-byte tail
+        let a = h.finish();
+        let mut h = FxHasher::default();
+        h.write(&[1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11]);
+        assert_eq!(a, h.finish());
+        let mut h = FxHasher::default();
+        h.write(&[1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 12]);
+        assert_ne!(a, h.finish());
+    }
+
+    #[test]
+    fn set_works() {
+        let mut s: FxHashSet<(u32, u32)> = FxHashSet::default();
+        assert!(s.insert((1, 2)));
+        assert!(!s.insert((1, 2)));
+        assert!(s.contains(&(1, 2)));
+    }
+}

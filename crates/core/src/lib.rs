@@ -25,16 +25,20 @@
 //! lives entirely behind these hooks.
 
 //!
-//! Two substrate-independent utility modules also live here so the whole
+//! Substrate-independent utility modules also live here so the whole
 //! workspace stays free of external dependencies: [`rng`] (the
-//! deterministic PRNG behind every stochastic input) and [`prop`] (the
-//! in-repo property-testing harness).
+//! deterministic PRNG behind every stochastic input), [`prop`] (the
+//! in-repo property-testing harness), [`fxhash`] (a fast deterministic
+//! `HashMap` hasher for hot paths) and [`pool`] (a deterministic scoped
+//! fork-join pool used to parallelize independent simulation runs).
 
 pub mod adaptive;
 pub mod fuzz;
+pub mod fxhash;
 pub mod gto;
 pub mod lrr;
 pub mod owl;
+pub mod pool;
 pub mod pro;
 pub mod prop;
 pub mod rng;
@@ -42,6 +46,7 @@ pub mod tl;
 
 pub use adaptive::{AdaptiveConfig, ProAdaptive};
 pub use fuzz::Fuzz;
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use gto::Gto;
 pub use lrr::Lrr;
 pub use owl::OwlLite;
@@ -124,7 +129,11 @@ pub struct IssueInfo {
 /// A warp scheduling policy for one SM (shared by that SM's scheduler
 /// units, which is what lets PRO coordinate TB-level priorities across
 /// units).
-pub trait WarpScheduler {
+///
+/// `Send` is required so a boxed policy can migrate with its SM onto a
+/// worker thread when the simulator runs the SM array in parallel; every
+/// policy is plain owned data, so this costs implementations nothing.
+pub trait WarpScheduler: Send {
     /// Human-readable policy name (used in reports).
     fn name(&self) -> &'static str;
 

@@ -6,7 +6,9 @@
 //! lives in [`crate::GlobalMem`] — because timing is all the scheduler study
 //! needs from it.
 
-use std::collections::HashMap;
+// The MSHR table is probed on every lookup and is never iterated, so the
+// fast deterministic Fx hasher is a pure win over SipHash here.
+use pro_core::FxHashMap;
 
 /// Geometry and MSHR capacity for one cache.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -108,7 +110,7 @@ struct Way {
 pub struct Cache<T> {
     cfg: CacheConfig,
     sets: Vec<Vec<Way>>,
-    mshr: HashMap<u64, Vec<T>>,
+    mshr: FxHashMap<u64, Vec<T>>,
     use_clock: u64,
     /// Public counters.
     pub stats: CacheStats,
@@ -131,7 +133,7 @@ impl<T> Cache<T> {
         Cache {
             cfg,
             sets,
-            mshr: HashMap::new(),
+            mshr: FxHashMap::default(),
             use_clock: 0,
             stats: CacheStats::default(),
         }

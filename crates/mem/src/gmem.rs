@@ -82,6 +82,112 @@ impl GlobalMem {
     }
 }
 
+/// Word-granular global-memory access, abstracted so the execution engine
+/// can run either directly against [`GlobalMem`] (the serial engine) or
+/// against a read-shared base plus a private store log ([`GmemStage`], the
+/// parallel SM phase).
+pub trait GmemPort {
+    /// Read the 32-bit word at byte address `addr`.
+    fn read(&self, addr: u64) -> u32;
+    /// Write the 32-bit word at byte address `addr`.
+    fn write(&mut self, addr: u64, value: u32);
+}
+
+impl GmemPort for GlobalMem {
+    #[inline]
+    fn read(&self, addr: u64) -> u32 {
+        GlobalMem::read(self, addr)
+    }
+
+    #[inline]
+    fn write(&mut self, addr: u64, value: u32) {
+        GlobalMem::write(self, addr, value)
+    }
+}
+
+/// An ordered log of global-memory stores produced by one SM during the
+/// parallel phase of a cycle, applied to the real [`GlobalMem`] serially in
+/// SM-index order afterwards.
+#[derive(Debug, Default)]
+pub struct StoreLog {
+    entries: Vec<(u64, u32)>,
+}
+
+impl StoreLog {
+    /// Append a store.
+    #[inline]
+    pub fn push(&mut self, addr: u64, value: u32) {
+        self.entries.push((addr, value));
+    }
+
+    /// Number of logged stores.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no stores were logged.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Discard all logged stores (kernel-boundary reset), keeping capacity.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Apply all logged stores to `gmem` in program order and clear the log.
+    /// The buffer's capacity is retained so steady-state cycles allocate
+    /// nothing.
+    pub fn apply_to(&mut self, gmem: &mut GlobalMem) {
+        for &(addr, value) in &self.entries {
+            gmem.write(addr, value);
+        }
+        self.entries.clear();
+    }
+}
+
+/// A [`GmemPort`] over a shared read-only [`GlobalMem`] base and a private
+/// [`StoreLog`]: writes are deferred into the log, reads see the SM's own
+/// writes from this cycle (newest first) layered over the base.
+///
+/// This gives each SM exactly the memory semantics of the serial engine for
+/// its *own* accesses; the only divergence is that another SM's same-cycle
+/// stores become visible at the end of the cycle instead of mid-cycle.
+/// Race-free kernels (every CUDA kernel we model) cannot observe the
+/// difference, and the functional-equivalence tests in `pro-sim` check all
+/// schedulers still produce identical memory images.
+#[derive(Debug)]
+pub struct GmemStage<'a> {
+    base: &'a GlobalMem,
+    log: &'a mut StoreLog,
+}
+
+impl<'a> GmemStage<'a> {
+    /// Stage writes from `log` over `base`.
+    pub fn new(base: &'a GlobalMem, log: &'a mut StoreLog) -> Self {
+        GmemStage { base, log }
+    }
+}
+
+impl GmemPort for GmemStage<'_> {
+    #[inline]
+    fn read(&self, addr: u64) -> u32 {
+        // Newest-first scan preserves lane-order overwrite semantics: the
+        // last store to an address within the cycle wins.
+        for &(a, v) in self.log.entries.iter().rev() {
+            if a == addr {
+                return v;
+            }
+        }
+        self.base.read(addr)
+    }
+
+    #[inline]
+    fn write(&mut self, addr: u64, value: u32) {
+        self.log.push(addr, value);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -132,5 +238,46 @@ mod tests {
         let mut m = GlobalMem::new(4096);
         let base = m.alloc_init(&[1, 2, 3]);
         assert_eq!(m.read_slice(base, 3), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn stage_defers_writes_and_reads_them_back() {
+        let mut m = GlobalMem::new(4096);
+        m.write(0, 11);
+        let mut log = StoreLog::default();
+        let mut stage = GmemStage::new(&m, &mut log);
+        assert_eq!(GmemPort::read(&stage, 0), 11); // falls through to base
+        stage.write(0, 22);
+        stage.write(4, 33);
+        stage.write(0, 44); // newest write wins
+        assert_eq!(GmemPort::read(&stage, 0), 44);
+        assert_eq!(GmemPort::read(&stage, 4), 33);
+        // Base is untouched until the log is applied.
+        assert_eq!(m.read(0), 11);
+        assert_eq!(log.len(), 3);
+        log.apply_to(&mut m);
+        assert_eq!(m.read(0), 44);
+        assert_eq!(m.read(4), 33);
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn staged_run_matches_direct_run() {
+        // The same store/load sequence through GlobalMem directly and
+        // through a stage+apply must land on identical memory.
+        let ops: [(u64, u32); 5] = [(8, 1), (16, 2), (8, 3), (24, 4), (16, 5)];
+        let mut direct = GlobalMem::new(4096);
+        for &(a, v) in &ops {
+            direct.write(a, v);
+        }
+        let mut staged = GlobalMem::new(4096);
+        let mut log = StoreLog::default();
+        let mut stage = GmemStage::new(&staged, &mut log);
+        for &(a, v) in &ops {
+            stage.write(a, v);
+            assert_eq!(GmemPort::read(&stage, a), v);
+        }
+        log.apply_to(&mut staged);
+        assert_eq!(direct.read_slice(0, 8), staged.read_slice(0, 8));
     }
 }

@@ -37,7 +37,7 @@ pub mod subsystem;
 pub use cache::{Cache, CacheConfig, CacheStats};
 pub use coalesce::coalesce_lines;
 pub use dram::{DramChannel, DramConfig, DramPolicy, DramStats};
-pub use gmem::GlobalMem;
+pub use gmem::{GlobalMem, GmemPort, GmemStage, StoreLog};
 pub use subsystem::{AccessId, AccessOutcome, MemConfig, MemStats, MemSubsystem};
 
 /// Bytes per cache line / memory transaction segment (Fermi: 128 B).

@@ -18,7 +18,8 @@ use crate::cache::{Cache, CacheConfig, CacheStats, Lookup};
 use crate::dram::{DramChannel, DramConfig, DramStats};
 use pro_trace::{Event as TraceEvent, EventClass, Hist16, NoopTracer, Tracer};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use pro_core::FxHashMap;
+use std::collections::{BinaryHeap, VecDeque};
 
 /// Identifier for one warp memory instruction in flight. Allocated by the
 /// SM; unique per SM (the subsystem keys on `(sm, id)`).
@@ -73,7 +74,7 @@ impl MemConfig {
 }
 
 /// Aggregated counters across the hierarchy.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct MemStats {
     /// Sum of all per-SM L1 counters.
     pub l1: CacheStats,
@@ -139,7 +140,8 @@ pub struct MemSubsystem {
     event_pool: Vec<Event>,
     seq: u64,
     // (sm<<40 | access) → (remaining lines, begin cycle)
-    outstanding: HashMap<u64, (u32, u64)>,
+    // Probed per completing line, never iterated — Fx-hashed for speed.
+    outstanding: FxHashMap<u64, (u32, u64)>,
     completions: Vec<VecDeque<AccessId>>,
     stats_extra: MemStats,
 }
@@ -176,7 +178,7 @@ impl MemSubsystem {
             events: BinaryHeap::new(),
             event_pool: Vec::new(),
             seq: 0,
-            outstanding: HashMap::new(),
+            outstanding: FxHashMap::default(),
             completions: (0..num_sms).map(|_| VecDeque::new()).collect(),
             stats_extra: MemStats::default(),
             cfg,

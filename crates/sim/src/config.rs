@@ -63,6 +63,9 @@ pub fn parse_config(text: &str, base: GpuConfig) -> Result<GpuConfig, ConfigErro
         match key {
             "num_sms" => cfg.num_sms = as_u64()? as u32,
             "max_cycles" => cfg.max_cycles = as_u64()?,
+            // Host-side simulation knob (not a modelled parameter): results
+            // are bit-identical at any worker count.
+            "sm_workers" => cfg.sm_workers = as_u64()? as usize,
             // SM
             "max_warps_per_sm" => cfg.sm.max_warps = as_u64()? as usize,
             "max_tbs_per_sm" => cfg.sm.max_tbs = as_u64()? as usize,
@@ -162,6 +165,13 @@ mod tests {
         assert_eq!(cfg.sm.max_threads, 2048);
         assert_eq!(cfg.mem.dram.policy, DramPolicy::Fcfs);
         assert_eq!(cfg.mem.l1.bytes, 32768);
+    }
+
+    #[test]
+    fn sm_workers_is_a_host_knob() {
+        let cfg = parse_config("sm_workers = 4", GpuConfig::gtx480()).unwrap();
+        assert_eq!(cfg.sm_workers, 4);
+        assert_eq!(GpuConfig::gtx480().sm_workers, 1);
     }
 
     #[test]

@@ -1,14 +1,28 @@
 //! The whole-GPU model: SM array, global thread block scheduler (the "work
 //! distribution engine" of §I), shared memory hierarchy, and the run loop
 //! that executes a kernel grid to completion.
+//!
+//! # Phase-split cycle and the parallel engine
+//!
+//! Each simulated cycle runs in three phases (see `Sm::tick_traced`):
+//! a serial *memory phase* per SM in SM-index order (all interaction with
+//! the shared [`MemSubsystem`]), an SM-local *issue phase* (scheduling and
+//! execution against a read-only global-memory base, with stores and load
+//! registrations deferred into per-SM buffers), and a serial *merge phase*
+//! per SM in SM-index order (publishing the deferred effects). Because
+//! every cross-SM interaction happens in the serial phases in a fixed
+//! order, the issue phase can be fanned out across worker threads
+//! ([`GpuConfig::sm_workers`]) with **bit-identical** results — counters,
+//! stall attribution, and trace streams all match the serial engine.
 
 use crate::result::{RunResult, TbOrderSnapshot, TbSpan};
-use pro_core::SchedulerKind;
+use pro_core::{SchedulerKind, WarpScheduler};
 use pro_isa::Kernel;
 use pro_mem::{GlobalMem, MemConfig, MemSubsystem};
 use pro_sm::{Sm, SmConfig, SmStats, TickReport};
-use pro_trace::{Event as TraceEvent, EventClass, NoopTracer, Tracer};
+use pro_trace::{mask_of, BufferTracer, Event as TraceEvent, EventClass, NoopTracer, Tracer};
 use std::collections::{HashMap, VecDeque};
+use std::sync::{mpsc, RwLock};
 
 /// Whole-GPU configuration (defaults = the paper's Table I).
 #[derive(Debug, Clone, Copy)]
@@ -21,6 +35,11 @@ pub struct GpuConfig {
     pub mem: MemConfig,
     /// Abort threshold for the run loop (simulator-bug guard).
     pub max_cycles: u64,
+    /// Worker threads for the per-cycle SM issue phase (1 = serial engine).
+    /// Any value produces bit-identical results; values above `num_sms` are
+    /// clamped. This is a host-side simulation knob, not a modelled
+    /// parameter, so it never affects simulated timing.
+    pub sm_workers: usize,
 }
 
 impl GpuConfig {
@@ -31,6 +50,7 @@ impl GpuConfig {
             sm: SmConfig::gtx480(),
             mem: MemConfig::gtx480(),
             max_cycles: 200_000_000,
+            sm_workers: 1,
         }
     }
 
@@ -270,15 +290,18 @@ impl Gpu {
 
     /// The full-generality launch: custom policy factory plus an external
     /// tracer on the event bus. All other launch methods delegate here.
+    ///
+    /// Runs the phase-split engine described in the module docs; with
+    /// `cfg.sm_workers > 1` the per-cycle SM issue phase is distributed over
+    /// persistent worker threads with bit-identical results.
     pub fn launch_custom_traced(
         &mut self,
         kernel: &Kernel,
-        factory: &mut dyn FnMut() -> Box<dyn pro_core::WarpScheduler>,
+        factory: &mut dyn FnMut() -> Box<dyn WarpScheduler>,
         trace: TraceOptions,
         tracer: &mut dyn Tracer,
     ) -> Result<RunResult, SimError> {
         let num_sms = self.cfg.num_sms as usize;
-        let mut policies: Vec<_> = (0..num_sms).map(|_| factory()).collect();
         for sm in &mut self.sms {
             sm.begin_kernel(kernel);
             sm.stats = SmStats::default();
@@ -292,7 +315,6 @@ impl Gpu {
         let mut outstanding = 0u32; // launched but unfinished
         let start_cycle = self.cycle;
         let mut rr_next_sm = 0usize;
-        let mut report = TickReport::default();
         let mut tb_order: Vec<TbOrderSnapshot> = Vec::new();
         let mut last_order_sample = start_cycle;
         // The bus: classic timeline/utilization traces are rebuilt from TB
@@ -301,111 +323,233 @@ impl Gpu {
         recorder.on_kernel_begin(&kernel.program.name, start_cycle);
         // Hoisted: one enabled() check per launch, not per cycle.
         let bus_on = recorder.enabled();
+        // Per-SM cycle buffers answer `wants` from this snapshot of the
+        // recorder's subscriptions; replaying them contiguously per SM in
+        // index order reproduces the serial engine's event stream exactly.
+        let buf_mask = mask_of(&recorder);
 
-        // Initial fill happens inside the loop (1 TB per SM per cycle),
-        // mirroring the hardware work distributor.
-        loop {
-            let now = self.cycle;
-            let rel = now - start_cycle;
-            if rel > self.cfg.max_cycles {
-                return Err(SimError::Timeout {
-                    at_cycle: rel,
-                    pending_tbs: pending.len() as u32 + outstanding,
-                });
-            }
-            let fast_phase = !pending.is_empty();
-
-            if bus_on {
-                self.mem.tick_traced(now, &mut recorder);
-            } else {
-                self.mem.tick(now);
-            }
-            for (i, sm) in self.sms.iter_mut().enumerate() {
-                report.finished_tbs.clear();
-                if bus_on {
-                    sm.tick_traced(
-                        now,
-                        &mut self.gmem,
-                        &mut self.mem,
-                        policies[i].as_mut(),
-                        fast_phase,
-                        &mut report,
-                        &mut recorder,
-                    );
-                } else {
-                    sm.tick(
-                        now,
-                        &mut self.gmem,
-                        &mut self.mem,
-                        policies[i].as_mut(),
-                        fast_phase,
-                        &mut report,
-                    );
-                }
-                outstanding -= report.finished_tbs.len() as u32;
-            }
-
-            // Thread block scheduler: at most one TB per SM per cycle,
-            // round-robin over SMs.
-            if !pending.is_empty() {
-                for k in 0..num_sms {
-                    if pending.is_empty() {
-                        break;
-                    }
-                    let i = (rr_next_sm + k) % num_sms;
-                    if self.sms[i].can_accept_tb() {
-                        let g = pending.pop_front().expect("non-empty");
-                        let fast_after = !pending.is_empty();
-                        self.sms[i].launch_tb_traced(
-                            g,
-                            now,
-                            policies[i].as_mut(),
-                            fast_after,
-                            &mut recorder,
-                        );
-                        outstanding += 1;
-                    }
-                }
-                rr_next_sm = (rr_next_sm + 1) % num_sms;
-            }
-
-            // Table IV sampling. This stays a direct policy poll (not a bus
-            // subscription): it reads the scheduler's internal priority
-            // state, which no microarchitectural event carries.
-            if trace.tb_order_period > 0
-                && now - last_order_sample >= trace.tb_order_period
-            {
-                last_order_sample = now;
-                let sm = &self.sms[trace.tb_order_sm as usize];
-                let view = sm.sched_view(now, fast_phase);
-                if let Some(order) = policies[trace.tb_order_sm as usize].tb_priority_trace(&view)
-                {
-                    if !order.is_empty() {
-                        tb_order.push(TbOrderSnapshot {
-                            cycle: now - start_cycle,
-                            order,
-                        });
-                    }
-                }
-            }
-
-            self.cycle += 1;
-            if pending.is_empty() && outstanding == 0 {
-                break;
+        // Dismantle the SM array into per-worker lanes: contiguous chunks
+        // keep the SM-index iteration order identical at any worker count.
+        // Lanes exist even at sm_workers == 1 so traced/untraced and
+        // serial/parallel runs share one allocator profile and one code
+        // path for the serial phases.
+        let workers = self.cfg.sm_workers.max(1).min(num_sms.max(1));
+        let mut chunks: Vec<Vec<Lane>> = Vec::with_capacity(workers);
+        {
+            let mut lanes: VecDeque<Lane> = self
+                .sms
+                .drain(..)
+                .map(|sm| Lane {
+                    sm,
+                    policy: factory(),
+                    report: TickReport::default(),
+                    buf: BufferTracer::new(buf_mask),
+                })
+                .collect();
+            let per = num_sms.div_ceil(workers).max(1);
+            while !lanes.is_empty() {
+                let take = per.min(lanes.len());
+                chunks.push(lanes.drain(..take).collect());
             }
         }
+
+        // Global memory moves behind an RwLock for the launch: workers read
+        // it during the issue phase, the main thread writes it in the merge
+        // phase. `GlobalMem::new(0)` allocates nothing.
+        let gmem_lock = RwLock::new(std::mem::replace(&mut self.gmem, GlobalMem::new(0)));
+
+        let loop_result: Result<(), SimError> = std::thread::scope(|scope| {
+            // Persistent issue-phase workers (parallel engine only). Each
+            // owns a job/result channel pair; lanes round-trip through the
+            // channels every cycle, and results are collected in worker
+            // order so lane order never depends on thread timing.
+            type Job = (u64, bool, Vec<Lane>);
+            struct WorkerLink {
+                job: mpsc::Sender<Job>,
+                res: mpsc::Receiver<Vec<Lane>>,
+            }
+            let mut links: Vec<WorkerLink> = Vec::new();
+            if chunks.len() > 1 {
+                for _ in 0..chunks.len() {
+                    let (job_tx, job_rx) = mpsc::channel::<Job>();
+                    let (res_tx, res_rx) = mpsc::channel::<Vec<Lane>>();
+                    let gmem_lock = &gmem_lock;
+                    scope.spawn(move || {
+                        // Blocking recv: std's mpsc spins briefly before
+                        // parking, so the per-cycle round-trip stays cheap
+                        // when cores are free, and an oversubscribed host
+                        // (workers > cores) degrades gracefully instead of
+                        // burning the cores the main thread needs.
+                        while let Ok((now, fast_phase, mut lanes)) = job_rx.recv() {
+                            {
+                                let g = gmem_lock.read().expect("gmem lock");
+                                for lane in &mut lanes {
+                                    lane.sm.issue_phase_traced(
+                                        now,
+                                        &g,
+                                        lane.policy.as_mut(),
+                                        fast_phase,
+                                        &mut lane.report,
+                                        &mut lane.buf,
+                                    );
+                                }
+                            }
+                            if res_tx.send(lanes).is_err() {
+                                break;
+                            }
+                        }
+                    });
+                    links.push(WorkerLink { job: job_tx, res: res_rx });
+                }
+            }
+
+            // Initial fill happens inside the loop (1 TB per SM per cycle),
+            // mirroring the hardware work distributor.
+            loop {
+                let now = self.cycle;
+                let rel = now - start_cycle;
+                if rel > self.cfg.max_cycles {
+                    return Err(SimError::Timeout {
+                        at_cycle: rel,
+                        pending_tbs: pending.len() as u32 + outstanding,
+                    });
+                }
+                let fast_phase = !pending.is_empty();
+
+                // Memory phase: the shared subsystem ticks, then each SM
+                // interacts with it serially in SM-index order. Events land
+                // in the per-SM buffer so the issue phase can append to the
+                // same stream off-thread.
+                if bus_on {
+                    self.mem.tick_traced(now, &mut recorder);
+                } else {
+                    self.mem.tick(now);
+                }
+                for lanes in chunks.iter_mut() {
+                    for lane in lanes.iter_mut() {
+                        lane.sm.mem_phase_traced(now, &mut self.mem, &mut lane.buf);
+                    }
+                }
+
+                // Issue phase: SM-local, fanned out across workers.
+                if links.is_empty() {
+                    let g = gmem_lock.read().expect("gmem lock");
+                    for lanes in chunks.iter_mut() {
+                        for lane in lanes.iter_mut() {
+                            lane.sm.issue_phase_traced(
+                                now,
+                                &g,
+                                lane.policy.as_mut(),
+                                fast_phase,
+                                &mut lane.report,
+                                &mut lane.buf,
+                            );
+                        }
+                    }
+                } else {
+                    for (link, lanes) in links.iter().zip(chunks.iter_mut()) {
+                        let job = (now, fast_phase, std::mem::take(lanes));
+                        link.job.send(job).expect("issue worker alive");
+                    }
+                    for (link, lanes) in links.iter().zip(chunks.iter_mut()) {
+                        *lanes = link.res.recv().expect("issue worker alive");
+                    }
+                }
+
+                // Merge phase: serial in SM-index order — replay the cycle's
+                // buffered events, publish deferred loads and stores.
+                {
+                    let mut g = gmem_lock.write().expect("gmem lock");
+                    for lanes in chunks.iter_mut() {
+                        for lane in lanes.iter_mut() {
+                            if bus_on {
+                                lane.buf.replay_into(&mut recorder);
+                            }
+                            lane.sm.merge_phase(now, &mut g, &mut self.mem);
+                            outstanding -= lane.report.finished_tbs.len() as u32;
+                            lane.report.finished_tbs.clear();
+                        }
+                    }
+                }
+
+                // Thread block scheduler: at most one TB per SM per cycle,
+                // round-robin over SMs.
+                if !pending.is_empty() {
+                    for k in 0..num_sms {
+                        if pending.is_empty() {
+                            break;
+                        }
+                        let i = (rr_next_sm + k) % num_sms;
+                        let lane = lane_mut(&mut chunks, i);
+                        if lane.sm.can_accept_tb() {
+                            let g = pending.pop_front().expect("non-empty");
+                            let fast_after = !pending.is_empty();
+                            lane.sm.launch_tb_traced(
+                                g,
+                                now,
+                                lane.policy.as_mut(),
+                                fast_after,
+                                &mut recorder,
+                            );
+                            outstanding += 1;
+                        }
+                    }
+                    rr_next_sm = (rr_next_sm + 1) % num_sms;
+                }
+
+                // Table IV sampling. This stays a direct policy poll (not a
+                // bus subscription): it reads the scheduler's internal
+                // priority state, which no event carries.
+                if trace.tb_order_period > 0 && now - last_order_sample >= trace.tb_order_period {
+                    last_order_sample = now;
+                    let lane = lane_mut(&mut chunks, trace.tb_order_sm as usize);
+                    let view = lane.sm.sched_view(now, fast_phase);
+                    if let Some(order) = lane.policy.tb_priority_trace(&view) {
+                        if !order.is_empty() {
+                            tb_order.push(TbOrderSnapshot {
+                                cycle: now - start_cycle,
+                                order,
+                            });
+                        }
+                    }
+                }
+
+                self.cycle += 1;
+                if pending.is_empty() && outstanding == 0 {
+                    // Dropping `links` hangs up the job channels; workers
+                    // observe the disconnect and exit before the scope
+                    // joins them.
+                    return Ok(());
+                }
+            }
+        });
+
+        // Reassemble the GPU before reporting anything (including errors),
+        // restoring SM-index order from the contiguous chunks.
+        self.gmem = gmem_lock.into_inner().expect("gmem lock");
+        let mut scheduler_name = "";
+        let mut per_sm: Vec<SmStats> = Vec::with_capacity(num_sms);
+        for lanes in chunks {
+            for lane in lanes {
+                if self.sms.is_empty() {
+                    scheduler_name = lane.policy.name();
+                }
+                per_sm.push(lane.sm.stats);
+                self.sms.push(lane.sm);
+            }
+        }
+        loop_result?;
 
         let cycles = self.cycle - start_cycle;
         recorder.on_kernel_end(&kernel.program.name, self.cycle, cycles);
         let (timeline, utilization) = recorder.finish_util();
-        let per_sm: Vec<SmStats> = self.sms.iter().map(|s| s.stats).collect();
         let mut agg = SmStats::default();
         for s in &per_sm {
             agg.merge(s);
         }
         let mut result = RunResult {
             kernel: kernel.program.name.clone(),
-            scheduler: policies[0].name(),
+            scheduler: scheduler_name,
             cycles,
             sm: agg,
             per_sm,
@@ -418,6 +562,28 @@ impl Gpu {
         result.snapshot_metrics();
         Ok(result)
     }
+}
+
+/// One SM's worth of per-launch state, bundled so it can migrate to an
+/// issue-phase worker thread and back as a unit.
+struct Lane {
+    sm: Sm,
+    policy: Box<dyn WarpScheduler>,
+    report: TickReport,
+    /// This cycle's event buffer, replayed into the real tracer at merge.
+    buf: BufferTracer,
+}
+
+/// The lane holding SM `idx` (chunks partition the SM array contiguously).
+fn lane_mut(chunks: &mut [Vec<Lane>], idx: usize) -> &mut Lane {
+    let mut i = idx;
+    for c in chunks.iter_mut() {
+        if i < c.len() {
+            return &mut c[i];
+        }
+        i -= c.len();
+    }
+    unreachable!("SM index {idx} out of range")
 }
 
 #[cfg(test)]

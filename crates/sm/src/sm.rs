@@ -25,12 +25,12 @@
 use crate::warp::{ExecEffect, LatClass, LaunchCtx, Warp};
 use crate::scoreboard::{Scoreboard, WriteSet};
 use crate::shared::SharedMem;
-use pro_core::{IssueInfo, SchedView, TbState, WarpScheduler, WarpState};
+use pro_core::{FxHashMap, IssueInfo, SchedView, TbState, WarpScheduler, WarpState};
 use pro_isa::{Instr, Kernel, PipeClass, Program, WARP_SIZE};
-use pro_mem::{AccessId, AccessOutcome, GlobalMem, MemSubsystem};
+use pro_mem::{AccessId, AccessOutcome, GlobalMem, GmemPort, GmemStage, MemSubsystem, StoreLog};
 use pro_trace::{req_id, Event as TraceEvent, EventClass, Hist16, NoopTracer, StallReason, Tracer};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::{BinaryHeap, VecDeque};
 use std::sync::Arc;
 
 /// SM microarchitecture parameters (defaults: Table I / Fermi GTX480).
@@ -242,8 +242,13 @@ pub struct Sm {
     wb_seq: u64,
     lsu: VecDeque<LsuEntry>,
     sfu_free_at: u64,
-    access_map: HashMap<AccessId, (usize, WriteSet)>,
+    access_map: FxHashMap<AccessId, (usize, WriteSet)>,
     next_access: AccessId,
+    // Deferred cross-SM effects of the issue phase, published by
+    // [`Sm::merge_phase`] in SM-index order so the issue phase can run on a
+    // worker thread without touching shared state.
+    load_intents: Vec<(AccessId, u32)>,
+    store_log: StoreLog,
     /// Cycle each TB slot's first warp finished (WLD tracking).
     first_warp_finish: Vec<Option<u64>>,
     /// Cumulative statistics (reset by the GPU at kernel boundaries).
@@ -252,6 +257,7 @@ pub struct Sm {
     order_buf: Vec<usize>,
     cand_buf: Vec<usize>,
     lines_buf: Vec<u64>,
+    completion_buf: Vec<AccessId>,
 }
 
 impl std::fmt::Debug for Sm {
@@ -287,13 +293,16 @@ impl Sm {
             wb_seq: 0,
             lsu: VecDeque::new(),
             sfu_free_at: 0,
-            access_map: HashMap::new(),
+            access_map: FxHashMap::default(),
             next_access: 0,
+            load_intents: Vec::with_capacity(8),
+            store_log: StoreLog::default(),
             first_warp_finish: vec![None; cfg.max_tbs],
             stats: SmStats::default(),
             order_buf: Vec::with_capacity(cfg.max_warps),
             cand_buf: Vec::with_capacity(cfg.max_warps),
             lines_buf: Vec::with_capacity(32),
+            completion_buf: Vec::with_capacity(32),
             cfg,
         }
     }
@@ -321,6 +330,9 @@ impl Sm {
         self.lsu.clear();
         self.sfu_free_at = 0;
         self.access_map.clear();
+        self.load_intents.clear();
+        self.store_log.clear();
+        self.completion_buf.clear();
     }
 
     /// Number of TB slots usable for the bound kernel (bounded by warp
@@ -608,6 +620,18 @@ impl Sm {
 
     /// [`Sm::tick`] publishing issue/stall, scoreboard, barrier, SIMT, TB
     /// and memory-lifecycle events to `tracer`.
+    ///
+    /// Composition of the three cycle phases; the parallel engine calls them
+    /// individually so the issue phase can run on a worker thread:
+    ///
+    /// 1. [`Sm::mem_phase_traced`] — serial, in SM-index order: drains
+    ///    completions from and pushes line accesses into the shared
+    ///    [`MemSubsystem`].
+    /// 2. [`Sm::issue_phase_traced`] — SM-local: scheduler ordering and
+    ///    instruction issue against a read-only global-memory base; stores
+    ///    and load registrations are deferred into per-SM buffers.
+    /// 3. [`Sm::merge_phase`] — serial, in SM-index order: publishes the
+    ///    deferred stores and load registrations.
     #[allow(clippy::too_many_arguments)]
     pub fn tick_traced(
         &mut self,
@@ -619,17 +643,34 @@ impl Sm {
         report: &mut TickReport,
         tracer: &mut dyn Tracer,
     ) {
+        self.mem_phase_traced(now, mem, tracer);
+        self.issue_phase_traced(now, gmem, policy, fast_phase, report, tracer);
+        self.merge_phase(now, gmem, mem);
+    }
+
+    /// Phase 1 of a cycle: interact with the shared memory subsystem.
+    ///
+    /// Drains this SM's completed accesses, retires due writebacks, and lets
+    /// the LSU head push one line into the subsystem. Must run serially in
+    /// SM-index order — `MemSubsystem` assigns its deterministic event
+    /// sequence numbers here.
+    pub fn mem_phase_traced(
+        &mut self,
+        now: u64,
+        mem: &mut MemSubsystem,
+        tracer: &mut dyn Tracer,
+    ) {
         // 1. Memory completions.
-        //    (collect first: drain borrows mem mutably)
-        {
-            let completions: Vec<AccessId> = mem.drain_completions(self.id).collect();
-            for a in completions {
-                let (warp, ws) = self
-                    .access_map
-                    .remove(&a)
-                    .expect("completion for unknown access");
-                self.release_write(warp, ws, now, tracer);
-            }
+        //    (buffer first: drain borrows mem mutably)
+        self.completion_buf.clear();
+        self.completion_buf.extend(mem.drain_completions(self.id));
+        for k in 0..self.completion_buf.len() {
+            let a = self.completion_buf[k];
+            let (warp, ws) = self
+                .access_map
+                .remove(&a)
+                .expect("completion for unknown access");
+            self.release_write(warp, ws, now, tracer);
         }
 
         // 2. Due writebacks.
@@ -674,8 +715,23 @@ impl Sm {
                 }
             }
         }
+    }
 
-        // 4. Issue, one attempt per scheduler unit.
+    /// Phase 2 of a cycle: scheduler ordering and instruction issue.
+    ///
+    /// Touches only this SM's state plus a *read-only* view of global memory:
+    /// stores are staged in the SM's [`StoreLog`] and new load registrations
+    /// in its intent buffer, both published later by [`Sm::merge_phase`].
+    /// Safe to run concurrently across SMs.
+    pub fn issue_phase_traced(
+        &mut self,
+        now: u64,
+        gmem_base: &GlobalMem,
+        policy: &mut dyn WarpScheduler,
+        fast_phase: bool,
+        report: &mut TickReport,
+        tracer: &mut dyn Tracer,
+    ) {
         {
             let view = SchedView {
                 cycle: now,
@@ -685,19 +741,33 @@ impl Sm {
             };
             policy.begin_cycle(&view);
         }
+        let mut log = std::mem::take(&mut self.store_log);
         for unit in 0..self.cfg.units {
-            self.issue_unit(unit, now, gmem, mem, policy, fast_phase, report, tracer);
+            let mut stage = GmemStage::new(gmem_base, &mut log);
+            self.issue_unit(unit, now, &mut stage, policy, fast_phase, report, tracer);
             self.stats.unit_cycles += 1;
         }
+        self.store_log = log;
+    }
+
+    /// Phase 3 of a cycle: publish this SM's deferred cross-SM effects.
+    ///
+    /// Registers new loads with the memory subsystem and applies staged
+    /// global-memory stores. Must run serially in SM-index order so the
+    /// merged state is independent of how phase 2 was scheduled.
+    pub fn merge_phase(&mut self, now: u64, gmem: &mut GlobalMem, mem: &mut MemSubsystem) {
+        for (access, n_lines) in self.load_intents.drain(..) {
+            mem.begin_load(now, self.id, access, n_lines);
+        }
+        self.store_log.apply_to(gmem);
     }
 
     #[allow(clippy::too_many_arguments)]
-    fn issue_unit(
+    fn issue_unit<G: GmemPort>(
         &mut self,
         unit: u32,
         now: u64,
-        gmem: &mut GlobalMem,
-        mem: &mut MemSubsystem,
+        gmem: &mut G,
         policy: &mut dyn WarpScheduler,
         fast_phase: bool,
         report: &mut TickReport,
@@ -921,7 +991,10 @@ impl Sm {
                 sb_set = true;
                 sb_longlat = true;
                 self.sched_warps[w].blocked_on_longlat = true;
-                mem.begin_load(now, self.id, access, lines.len() as u32);
+                // Registration with the memory subsystem is deferred to the
+                // merge phase; `begin_load` emits no timed events, so this is
+                // timing-neutral.
+                self.load_intents.push((access, lines.len() as u32));
                 if tracer.wants(EventClass::Mem) {
                     tracer.emit(
                         now,

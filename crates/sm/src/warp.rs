@@ -14,7 +14,7 @@ use crate::shared::{atomic_cycles, conflict_cycles, SharedMem};
 use crate::simt::SimtStack;
 use pro_isa::exec::{eval_alu, eval_atom, eval_cmp, eval_sfu};
 use pro_isa::{AluOp, Instr, MemSpace, Pc, Program, Special, Src, WARP_SIZE};
-use pro_mem::{line_of, GlobalMem};
+use pro_mem::{line_of, GmemPort};
 
 /// Latency classes for writeback scheduling; the SM maps these to cycle
 /// counts from its config.
@@ -206,11 +206,15 @@ impl Warp {
     /// Returns the effect plus the active-lane count (the paper's progress
     /// increment). Must not be called on a finished warp or one parked at a
     /// barrier.
-    pub fn execute(
+    ///
+    /// Generic over [`GmemPort`] so the same execution path runs against
+    /// the real [`pro_mem::GlobalMem`] (serial engine) or a staged view
+    /// ([`pro_mem::GmemStage`], parallel SM phase).
+    pub fn execute<G: GmemPort>(
         &mut self,
         program: &Program,
         ctx: &LaunchCtx,
-        gmem: &mut GlobalMem,
+        gmem: &mut G,
         shared: &mut SharedMem,
         lines_out: &mut Vec<u64>,
     ) -> (ExecEffect, u32) {
@@ -433,6 +437,7 @@ fn coalesce_into(addrs: &[u64; WARP_SIZE], mask: u32, out: &mut Vec<u64>) {
 mod tests {
     use super::*;
     use pro_isa::{CmpOp, ProgramBuilder, SfuOp, Ty};
+    use pro_mem::GlobalMem;
 
     fn ctx<'a>(params: &'a [u32]) -> LaunchCtx<'a> {
         LaunchCtx {

@@ -71,4 +71,23 @@ target/release/repro trace-report "$tracedir/trace_laplace3d_pro.jsonl" \
     exit 1
 }
 
+echo "== parallel engine: bit-identical across worker counts =="
+# The determinism contract of both parallel layers: the experiment pool
+# (--jobs) and the intra-run phase-split SM array (--sm-workers) must
+# produce byte-for-byte the output of the serial engine. Any divergence
+# in a counter, a stall share, or float formatting fails the gate.
+target/release/repro json --quick --jobs 1 > "$tracedir/json_serial.txt"
+target/release/repro json --quick --jobs 4 > "$tracedir/json_jobs4.txt"
+cmp "$tracedir/json_serial.txt" "$tracedir/json_jobs4.txt" || {
+    echo "ERROR: repro json differs between --jobs 1 and --jobs 4" >&2
+    exit 1
+}
+target/release/repro json --quick --jobs 4 --sm-workers 4 \
+    > "$tracedir/json_smw4.txt"
+cmp "$tracedir/json_serial.txt" "$tracedir/json_smw4.txt" || {
+    echo "ERROR: repro json differs with --sm-workers 4 (parallel SM array)" >&2
+    exit 1
+}
+echo "ok: --jobs 4 and --sm-workers 4 match the serial engine byte-for-byte"
+
 echo "== verify: all green =="
