@@ -16,6 +16,17 @@
 //! * `--sm-workers N` parallelizes the SM array *inside* each simulation
 //!   (the phase-split engine); counters and traces are bit-identical to
 //!   the serial engine.
+//!
+//! Long runs — checkpoint & resume (the `json` sweep):
+//!
+//! * `--checkpoint-path DIR` writes per-cell state into `DIR`: a `.ckpt`
+//!   snapshot refreshed mid-run and a `.done` result once the cell
+//!   finishes (format: DESIGN.md §12).
+//! * `--checkpoint-every N` sets the snapshot interval in cycles
+//!   (default 50000).
+//! * `--resume DIR` re-runs the sweep against an existing `DIR`: finished
+//!   cells load their `.done`, interrupted cells resume from `.ckpt`, and
+//!   the aggregate JSON is byte-identical to an uninterrupted run.
 
 use pro_bench::{geomean_finite, parallel_map, ratio, run_cell_with, speedup, AppTotals, Cell};
 use pro_core::SchedulerKind;
@@ -63,6 +74,10 @@ fn main() {
     if let Some(n) = flag_value(&args, "--jobs") {
         pro_core::pool::set_default_jobs(n);
     }
+    // Checkpoint/resume knobs for the `json` sweep. `--resume DIR` implies
+    // checkpointing into the same directory.
+    let ckpt_dir = flag_str(&args, "--checkpoint-path").or_else(|| flag_str(&args, "--resume"));
+    let ckpt_every = flag_value(&args, "--checkpoint-every").unwrap_or(0) as u64;
     match cmd {
         "config" => config(),
         "workloads" => workloads(scale),
@@ -78,7 +93,7 @@ fn main() {
         "cache" => cache(scale),
         "synthsweep" => synthsweep(),
         "svg" => svg_figs(scale, quick),
-        "json" => json_export(scale, quick),
+        "json" => json_export(scale, quick, ckpt_dir.as_deref(), ckpt_every),
         "dram" => dram_ablation(scale),
         "disasm" => disasm(args.get(1).map(String::as_str).unwrap_or("")),
         "ready" => ready(scale),
@@ -107,7 +122,8 @@ fn main() {
             eprintln!(
                 "usage: repro <config|workloads|fig1|fig2|fig4|fig5|table3|table4|ablation|sweep|wld|cache|ready|occupancy|synthsweep|svg|json|dram|all> \
                  | disasm <kernel> | trace [kernel] [tl|lrr|gto|pro] | trace-report <file.jsonl> \
-                 [--full-scale] [--quick] [--jobs N] [--sm-workers N]"
+                 [--full-scale] [--quick] [--jobs N] [--sm-workers N] \
+                 [--checkpoint-path DIR] [--checkpoint-every N] [--resume DIR]"
             );
             std::process::exit(2);
         }
@@ -121,6 +137,18 @@ fn flag_value(args: &[String], name: &str) -> Option<usize> {
         Some(n) => Some(n),
         None => {
             eprintln!("{name} requires a non-negative integer");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Parse `--name VALUE` (a string argument) from the argument list.
+fn flag_str(args: &[String], name: &str) -> Option<String> {
+    let pos = args.iter().position(|a| a == name)?;
+    match args.get(pos + 1) {
+        Some(v) if !v.starts_with("--") => Some(v.clone()),
+        _ => {
+            eprintln!("{name} requires a value");
             std::process::exit(2);
         }
     }
@@ -764,14 +792,37 @@ fn svg_figs(scale: Scale, quick: bool) {
     println!("wrote fig1_lrr.svg");
 }
 
-/// Dump every (kernel × scheduler) result as JSON on stdout.
-fn json_export(scale: Scale, quick: bool) {
+/// Dump every (kernel × scheduler) result as JSON on stdout. With a
+/// checkpoint directory, cells persist `.done`/`.ckpt` state there and a
+/// crashed worker is retried from its last snapshot; the aggregate output
+/// is byte-identical either way.
+fn json_export(scale: Scale, quick: bool, ckpt_dir: Option<&str>, every: u64) {
     let ws = kernels(scale, quick);
     let jobs: Vec<(pro_workloads::Workload, SchedulerKind)> = ws
         .iter()
         .flat_map(|w| SchedulerKind::PAPER.into_iter().map(move |s| (*w, s)))
         .collect();
-    let cells = pro_bench::parallel_map(&jobs, |(w, s)| run_cell(w, *s, scale));
+    let cells = match ckpt_dir {
+        None => pro_bench::parallel_map(&jobs, |(w, s)| run_cell(w, *s, scale)),
+        Some(dir) => {
+            let dir = std::path::Path::new(dir);
+            std::fs::create_dir_all(dir).unwrap_or_else(|e| {
+                eprintln!("{}: {e}", dir.display());
+                std::process::exit(2);
+            });
+            pro_bench::parallel_map_recover(&jobs, |(w, s)| {
+                pro_bench::sweep::run_cell_recoverable(
+                    w,
+                    *s,
+                    scale,
+                    machine(),
+                    TraceOptions::default(),
+                    dir,
+                    every,
+                )
+            })
+        }
+    };
     println!("{}", pro_bench::json::export_cells(&cells).to_string());
 }
 

@@ -36,6 +36,7 @@
 pub mod json;
 pub mod runner;
 pub mod svg;
+pub mod sweep;
 
 use pro_core::SchedulerKind;
 use pro_sim::{geomean, GpuConfig, RunResult, TraceOptions};
@@ -101,6 +102,14 @@ pub fn run_matrix(scheds: &[SchedulerKind], scale: Scale) -> Vec<Cell> {
 /// simulation, so results are deterministic regardless of thread count.
 pub fn parallel_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
     pro_core::pool::run(0, items, f)
+}
+
+/// [`parallel_map`] with crash recovery: a cell whose worker panics is
+/// retried once ([`pro_core::pool::run_recover`]). Checkpointed sweeps
+/// ([`sweep::run_cell_recoverable`]) resume the retried cell from its
+/// last on-disk snapshot instead of restarting it from cycle 0.
+pub fn parallel_map_recover<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
+    pro_core::pool::run_recover(0, items, f)
 }
 
 /// Per-application cycle and stall totals (kernels of an app summed), as

@@ -1,0 +1,259 @@
+//! Crash-recovering sweep cells.
+//!
+//! A long `repro json` sweep runs 100 independent (kernel × scheduler)
+//! simulations. With checkpointing enabled (`--checkpoint-path DIR`), each
+//! cell leaves two kinds of state in `DIR`:
+//!
+//! * `<app>_<kernel>_<sched>.done` — the finished [`RunResult`], wrapped in
+//!   the same versioned container as GPU snapshots (DESIGN.md §12), so a
+//!   re-run (`--resume DIR`) loads it instead of simulating again.
+//! * `<app>_<kernel>_<sched>.ckpt` — the latest mid-run [`GpuSnapshot`],
+//!   refreshed every `--checkpoint-every N` cycles and deleted once the
+//!   cell finishes. A resumed sweep picks the simulation up from here.
+//!
+//! Both files are written atomically (temp file + rename), so a worker
+//! killed mid-write never leaves a torn file — [`FileReader::parse`]'s CRC
+//! check rejects anything short of a complete snapshot, and a rejected
+//! `.ckpt` falls back to re-running the cell from cycle 0.
+
+use std::fs::{self, File};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use pro_core::codec::{FileReader, FileWriter, Snapshot, Writer};
+use pro_core::SchedulerKind;
+use pro_sim::{
+    CheckpointOptions, Gpu, GpuConfig, GpuSnapshot, LaunchStatus, RunResult, TraceOptions,
+};
+use pro_workloads::{Scale, Workload};
+
+use crate::Cell;
+
+/// Section id of the [`RunResult`] payload inside a `.done` file.
+const SEC_RESULT: u32 = 1;
+
+/// Checkpoint interval (cycles) used when a sweep enables checkpointing
+/// without an explicit `--checkpoint-every`.
+pub const DEFAULT_CHECKPOINT_EVERY: u64 = 50_000;
+
+/// File stem identifying one (workload, scheduler) cell inside the
+/// checkpoint directory. App + kernel + scheduler name is unique across
+/// the Table II registry.
+pub fn cell_stem(w: &Workload, sched: SchedulerKind) -> String {
+    format!("{}_{}_{}", w.app, w.kernel, sched.name())
+}
+
+/// Path of the cell's finished-result marker.
+pub fn done_path(dir: &Path, w: &Workload, sched: SchedulerKind) -> PathBuf {
+    dir.join(format!("{}.done", cell_stem(w, sched)))
+}
+
+/// Path of the cell's mid-run snapshot.
+pub fn ckpt_path(dir: &Path, w: &Workload, sched: SchedulerKind) -> PathBuf {
+    dir.join(format!("{}.ckpt", cell_stem(w, sched)))
+}
+
+/// Serialize a finished [`RunResult`] to `path` atomically, in the
+/// versioned container format.
+fn write_done(path: &Path, result: &RunResult) -> std::io::Result<()> {
+    let mut w = Writer::new();
+    result.save(&mut w);
+    let mut f = FileWriter::new();
+    f.add_section(SEC_RESULT, w);
+    let tmp = path.with_extension("tmp");
+    {
+        let mut out = File::create(&tmp)?;
+        out.write_all(&f.finish())?;
+        out.sync_all()?;
+    }
+    fs::rename(&tmp, path)
+}
+
+/// Load a `.done` file back into a [`RunResult`]. Any failure (missing
+/// file, torn write, version drift) returns `None` and the cell re-runs.
+fn read_done(path: &Path) -> Option<RunResult> {
+    let bytes = fs::read(path).ok()?;
+    let fr = FileReader::parse(&bytes).ok()?;
+    let mut r = fr.section(SEC_RESULT).ok()?;
+    let result = RunResult::load(&mut r).ok()?;
+    r.finish().ok()?;
+    Some(result)
+}
+
+/// Run one (workload, scheduler) cell with crash recovery.
+///
+/// Recovery ladder, cheapest first:
+///
+/// 1. a valid `.done` file short-circuits the simulation entirely;
+/// 2. a valid `.ckpt` resumes the simulation from its last checkpoint;
+/// 3. otherwise the cell runs from cycle 0, checkpointing every `every`
+///    cycles (0 selects [`DEFAULT_CHECKPOINT_EVERY`]).
+///
+/// Because snapshots are deterministic and bit-exact, a recovered cell's
+/// [`RunResult`] is identical to an uninterrupted run's, so the sweep's
+/// aggregate output does not depend on whether a crash happened.
+pub fn run_cell_recoverable(
+    w: &Workload,
+    sched: SchedulerKind,
+    scale: Scale,
+    cfg: GpuConfig,
+    trace: TraceOptions,
+    dir: &Path,
+    every: u64,
+) -> Cell {
+    let done = done_path(dir, w, sched);
+    if let Some(result) = read_done(&done) {
+        return Cell {
+            kernel: w.kernel,
+            app: w.app,
+            sched,
+            result,
+        };
+    }
+
+    let ckpt = ckpt_path(dir, w, sched);
+    let opts = CheckpointOptions {
+        every: if every == 0 {
+            DEFAULT_CHECKPOINT_EVERY
+        } else {
+            every
+        },
+        path: Some(ckpt.clone()),
+        pause_at: 0,
+    };
+
+    let mut gpu = Gpu::new(cfg, w.recommended_gmem(scale));
+    let built = w.build_scaled(&mut gpu.gmem, scale);
+
+    // Try to resume from a mid-run snapshot; on any failure (torn file,
+    // config drift since the checkpoint was taken) fall back to a fresh
+    // run — correctness never depends on the checkpoint being usable.
+    let mut status = None;
+    if ckpt.exists() {
+        match GpuSnapshot::read_from(&ckpt)
+            .map_err(|e| e.to_string())
+            .and_then(|snap| {
+                gpu.resume(&snap, &built.kernel, sched, trace, &opts)
+                    .map_err(|e| e.to_string())
+            }) {
+            Ok(s) => status = Some(s),
+            Err(e) => {
+                eprintln!(
+                    "warning: {}: stale checkpoint ({e}); restarting cell",
+                    ckpt.display()
+                );
+                let _ = fs::remove_file(&ckpt);
+            }
+        }
+    }
+    let status = match status {
+        Some(s) => s,
+        None => gpu
+            .launch_checkpointed(&built.kernel, sched, trace, &opts)
+            .unwrap_or_else(|e| panic!("{}: {e}", w.kernel)),
+    };
+
+    let result = match status {
+        LaunchStatus::Completed(result) => result,
+        LaunchStatus::Paused(_) => unreachable!("sweep cells run with pause_at = 0"),
+    };
+    if let Err(e) = (built.verify)(&gpu.gmem) {
+        panic!(
+            "{} under {sched}: functional verification failed: {e}",
+            w.kernel
+        );
+    }
+    write_done(&done, &result)
+        .unwrap_or_else(|e| panic!("writing {}: {e}", done.display()));
+    let _ = fs::remove_file(&ckpt);
+    Cell {
+        kernel: w.kernel,
+        app: w.app,
+        sched,
+        result,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pro_workloads::registry;
+
+    fn small_cfg() -> GpuConfig {
+        GpuConfig {
+            sm_workers: 1,
+            ..GpuConfig::small(4)
+        }
+    }
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("pro-sweep-{tag}-{}", std::process::id()));
+        fs::create_dir_all(&d).expect("create temp dir");
+        d
+    }
+
+    #[test]
+    fn done_file_short_circuits_second_run() {
+        let dir = tmp_dir("done");
+        let reg = registry();
+        let w = reg
+            .iter()
+            .find(|w| w.kernel == "laplace3d")
+            .expect("laplace3d in registry");
+        let scale = Scale::Capped(16);
+        let trace = TraceOptions::default();
+
+        let first = run_cell_recoverable(
+            w,
+            SchedulerKind::Lrr,
+            scale,
+            small_cfg(),
+            trace,
+            &dir,
+            1_000,
+        );
+        assert!(done_path(&dir, w, SchedulerKind::Lrr).exists());
+        assert!(!ckpt_path(&dir, w, SchedulerKind::Lrr).exists());
+
+        // Second call must load the .done rather than re-simulate; the
+        // results agree field-for-field either way.
+        let second = run_cell_recoverable(
+            w,
+            SchedulerKind::Lrr,
+            scale,
+            small_cfg(),
+            trace,
+            &dir,
+            1_000,
+        );
+        assert_eq!(first.result, second.result);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn garbage_checkpoint_falls_back_to_fresh_run() {
+        let dir = tmp_dir("garbage");
+        let reg = registry();
+        let w = reg
+            .iter()
+            .find(|w| w.kernel == "laplace3d")
+            .expect("laplace3d in registry");
+        let scale = Scale::Capped(16);
+        let trace = TraceOptions::default();
+
+        fs::write(ckpt_path(&dir, w, SchedulerKind::Pro), b"not a snapshot")
+            .expect("plant garbage ckpt");
+        let cell = run_cell_recoverable(
+            w,
+            SchedulerKind::Pro,
+            scale,
+            small_cfg(),
+            trace,
+            &dir,
+            1_000,
+        );
+        assert!(cell.result.cycles > 0);
+        assert!(done_path(&dir, w, SchedulerKind::Pro).exists());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -13,6 +13,7 @@
 //! identical, so the probe is harmless; on barrier-pathological kernels
 //! (the paper's scalarProd case) it recovers the PRO-NB win automatically.
 
+use crate::codec::{self, CodecError};
 use crate::pro::{Pro, ProConfig};
 use crate::{IssueInfo, SchedView, TbSlot, WarpScheduler, WarpSlot};
 
@@ -211,6 +212,44 @@ impl WarpScheduler for ProAdaptive {
         } else {
             self.without_barriers.tb_priority_trace(view)
         }
+    }
+
+    fn save_state(&self, w: &mut codec::Writer) {
+        self.with_barriers.save_state(w);
+        self.without_barriers.save_state(w);
+        w.put_u8(match self.mode {
+            Mode::Probe => 0,
+            Mode::LockedOn => 1,
+            Mode::LockedOff => 2,
+        });
+        w.put_u64(self.epoch_start);
+        w.put_u32(self.epoch_index);
+        w.put_u64(self.issued_this_epoch);
+        w.put_u64(self.cycles_this_epoch);
+        w.put_u64(self.on_score.0);
+        w.put_u64(self.on_score.1);
+        w.put_u64(self.off_score.0);
+        w.put_u64(self.off_score.1);
+        w.put_bool(self.started);
+    }
+
+    fn load_state(&mut self, r: &mut codec::Reader<'_>) -> Result<(), CodecError> {
+        self.with_barriers.load_state(r)?;
+        self.without_barriers.load_state(r)?;
+        self.mode = match r.get_u8()? {
+            0 => Mode::Probe,
+            1 => Mode::LockedOn,
+            2 => Mode::LockedOff,
+            _ => return Err(CodecError::BadValue("PRO-AD mode tag")),
+        };
+        self.epoch_start = r.get_u64()?;
+        self.epoch_index = r.get_u32()?;
+        self.issued_this_epoch = r.get_u64()?;
+        self.cycles_this_epoch = r.get_u64()?;
+        self.on_score = (r.get_u64()?, r.get_u64()?);
+        self.off_score = (r.get_u64()?, r.get_u64()?);
+        self.started = r.get_bool()?;
+        Ok(())
     }
 }
 

@@ -1,0 +1,662 @@
+//! `codec` — the in-repo, zero-dependency, versioned binary serialization
+//! layer behind the simulator's checkpoint/resume subsystem.
+//!
+//! Design goals, in order:
+//!
+//! 1. **Bit-exact round trips.** A restored simulator must continue
+//!    producing byte-identical counters and traces, so every encoding is
+//!    explicit little-endian with no platform-dependent layout (`usize` is
+//!    always written as `u64`; floats never appear in simulator state).
+//! 2. **Loud failure.** Checkpoint files carry a magic number, a format
+//!    version and a per-section CRC-32, so a truncated, corrupted or
+//!    stale-format file yields a typed [`CodecError`] — never a panic and
+//!    never a silently wrong simulation.
+//! 3. **No dependencies.** Like [`crate::rng`] and [`crate::prop`], the
+//!    codec keeps the workspace hermetic: no serde, no external CRC crate.
+//!
+//! The layer has three tiers:
+//!
+//! * [`Writer`] / [`Reader`] — primitive little-endian encode/decode over a
+//!   byte buffer.
+//! * [`Snapshot`] — the trait simulator components implement; blanket
+//!   implementations cover primitives, tuples, `Vec`, `VecDeque`, `Option`
+//!   and fixed-size arrays, so most impls are field-by-field one-liners.
+//! * [`FileWriter`] / [`FileReader`] — the on-disk container: magic +
+//!   format version + a table of `(id, length, crc32, payload)` sections.
+//!   See `DESIGN.md` §12 for the byte-level specification.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+/// File magic: identifies a PRO snapshot container.
+pub const MAGIC: [u8; 8] = *b"PROSNAP\0";
+
+/// Current container format version. Bump on any layout change; readers
+/// reject files whose version differs (no silent migration).
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Every way a snapshot can fail to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The file does not start with [`MAGIC`].
+    BadMagic,
+    /// The file's format version is not [`FORMAT_VERSION`].
+    BadVersion(u32),
+    /// A section's payload failed its CRC-32 check.
+    CrcMismatch {
+        /// Section id whose checksum failed.
+        section: u32,
+    },
+    /// A required section id is absent from the container.
+    MissingSection(u32),
+    /// The byte stream ended before a value was fully read.
+    Truncated,
+    /// A decoded value is out of range for its type (e.g. an invalid enum
+    /// tag or a `u64` that does not fit `usize`).
+    BadValue(&'static str),
+    /// The snapshot is well-formed but belongs to a different run setup
+    /// (machine config, kernel or scheduler mismatch).
+    Mismatch(String),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::BadMagic => write!(f, "not a PRO snapshot (bad magic)"),
+            CodecError::BadVersion(v) => write!(
+                f,
+                "unsupported snapshot format version {v} (this build reads {FORMAT_VERSION})"
+            ),
+            CodecError::CrcMismatch { section } => {
+                write!(f, "snapshot section {section} is corrupted (CRC mismatch)")
+            }
+            CodecError::MissingSection(id) => {
+                write!(f, "snapshot is missing required section {id}")
+            }
+            CodecError::Truncated => write!(f, "snapshot data ended unexpectedly"),
+            CodecError::BadValue(what) => write!(f, "snapshot contains an invalid value: {what}"),
+            CodecError::Mismatch(why) => {
+                write!(f, "snapshot does not match this run: {why}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+// ---------------------------------------------------------------------------
+// CRC-32 (IEEE 802.3, reflected, as used by zlib/PNG) — table-driven.
+// ---------------------------------------------------------------------------
+
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 (IEEE) of `data`. Golden-pinned in tests against the standard
+/// check value `crc32(b"123456789") == 0xCBF4_3926`.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+// ---------------------------------------------------------------------------
+// Writer / Reader
+// ---------------------------------------------------------------------------
+
+/// Append-only little-endian byte sink.
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// An empty writer.
+    pub fn new() -> Self {
+        Writer::default()
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Consume the writer, yielding its byte buffer.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Write one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Write a `u32`, little-endian.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Write a `u64`, little-endian.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Write a `u128`, little-endian.
+    pub fn put_u128(&mut self, v: u128) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Write a `bool` as one byte (0/1).
+    pub fn put_bool(&mut self, v: bool) {
+        self.buf.push(u8::from(v));
+    }
+
+    /// Write a `usize` as `u64` (platform-independent).
+    pub fn put_usize(&mut self, v: usize) {
+        self.put_u64(v as u64);
+    }
+
+    /// Write raw bytes with a `u64` length prefix.
+    pub fn put_bytes(&mut self, v: &[u8]) {
+        self.put_u64(v.len() as u64);
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Write a UTF-8 string with a `u64` length prefix.
+    pub fn put_str(&mut self, v: &str) {
+        self.put_bytes(v.as_bytes());
+    }
+}
+
+/// Cursor over a byte slice; every accessor returns [`CodecError::Truncated`]
+/// instead of panicking when data runs out.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// A reader over `buf`, positioned at the start.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.remaining() < n {
+            return Err(CodecError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Read one byte.
+    pub fn get_u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a little-endian `u32`.
+    pub fn get_u32(&mut self) -> Result<u32, CodecError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Read a little-endian `u64`.
+    pub fn get_u64(&mut self) -> Result<u64, CodecError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Read a little-endian `u128`.
+    pub fn get_u128(&mut self) -> Result<u128, CodecError> {
+        Ok(u128::from_le_bytes(self.take(16)?.try_into().unwrap()))
+    }
+
+    /// Read a `bool`; any byte other than 0/1 is a [`CodecError::BadValue`].
+    pub fn get_bool(&mut self) -> Result<bool, CodecError> {
+        match self.get_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(CodecError::BadValue("bool")),
+        }
+    }
+
+    /// Read a `usize` (stored as `u64`).
+    pub fn get_usize(&mut self) -> Result<usize, CodecError> {
+        usize::try_from(self.get_u64()?).map_err(|_| CodecError::BadValue("usize"))
+    }
+
+    /// Read length-prefixed raw bytes.
+    pub fn get_bytes(&mut self) -> Result<Vec<u8>, CodecError> {
+        let n = self.get_usize()?;
+        Ok(self.take(n)?.to_vec())
+    }
+
+    /// Read a length-prefixed UTF-8 string.
+    pub fn get_string(&mut self) -> Result<String, CodecError> {
+        let bytes = self.get_bytes()?;
+        String::from_utf8(bytes).map_err(|_| CodecError::BadValue("utf-8 string"))
+    }
+
+    /// Assert the reader consumed its input exactly — catches impls whose
+    /// save/load field lists drifted apart.
+    pub fn finish(&self) -> Result<(), CodecError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(CodecError::BadValue("trailing bytes in section"))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot trait + blanket impls
+// ---------------------------------------------------------------------------
+
+/// A component whose complete dynamic state can be written to and rebuilt
+/// from a byte stream.
+///
+/// The contract backing checkpoint/resume: `save` followed by `load` must
+/// produce a value whose **observable future behaviour is bit-identical**
+/// to the original — same counters, same stall attribution, same trace
+/// bytes. Encoders must be canonical (hash maps serialized in sorted key
+/// order, heaps in sorted element order) so identical states produce
+/// identical bytes.
+pub trait Snapshot: Sized {
+    /// Append this value's encoding to `w`.
+    fn save(&self, w: &mut Writer);
+    /// Decode a value from `r`.
+    fn load(r: &mut Reader<'_>) -> Result<Self, CodecError>;
+}
+
+macro_rules! snapshot_prim {
+    ($ty:ty, $put:ident, $get:ident) => {
+        impl Snapshot for $ty {
+            fn save(&self, w: &mut Writer) {
+                w.$put(*self);
+            }
+            fn load(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+                r.$get()
+            }
+        }
+    };
+}
+
+snapshot_prim!(u8, put_u8, get_u8);
+snapshot_prim!(u32, put_u32, get_u32);
+snapshot_prim!(u64, put_u64, get_u64);
+snapshot_prim!(u128, put_u128, get_u128);
+snapshot_prim!(bool, put_bool, get_bool);
+snapshot_prim!(usize, put_usize, get_usize);
+
+impl Snapshot for String {
+    fn save(&self, w: &mut Writer) {
+        w.put_str(self);
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        r.get_string()
+    }
+}
+
+impl<T: Snapshot> Snapshot for Vec<T> {
+    fn save(&self, w: &mut Writer) {
+        w.put_u64(self.len() as u64);
+        for x in self {
+            x.save(w);
+        }
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let n = r.get_usize()?;
+        let mut v = Vec::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            v.push(T::load(r)?);
+        }
+        Ok(v)
+    }
+}
+
+impl<T: Snapshot> Snapshot for VecDeque<T> {
+    fn save(&self, w: &mut Writer) {
+        w.put_u64(self.len() as u64);
+        for x in self {
+            x.save(w);
+        }
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let n = r.get_usize()?;
+        let mut v = VecDeque::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            v.push_back(T::load(r)?);
+        }
+        Ok(v)
+    }
+}
+
+impl<T: Snapshot> Snapshot for Option<T> {
+    fn save(&self, w: &mut Writer) {
+        match self {
+            None => w.put_u8(0),
+            Some(x) => {
+                w.put_u8(1);
+                x.save(w);
+            }
+        }
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        match r.get_u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(T::load(r)?)),
+            _ => Err(CodecError::BadValue("Option tag")),
+        }
+    }
+}
+
+impl<T: Snapshot, const N: usize> Snapshot for [T; N] {
+    fn save(&self, w: &mut Writer) {
+        for x in self {
+            x.save(w);
+        }
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let mut v = Vec::with_capacity(N);
+        for _ in 0..N {
+            v.push(T::load(r)?);
+        }
+        v.try_into().map_err(|_| CodecError::Truncated)
+    }
+}
+
+macro_rules! snapshot_tuple {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Snapshot),+> Snapshot for ($($name,)+) {
+            fn save(&self, w: &mut Writer) {
+                $(self.$idx.save(w);)+
+            }
+            fn load(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+                Ok(($($name::load(r)?,)+))
+            }
+        }
+    };
+}
+
+snapshot_tuple!(A: 0, B: 1);
+snapshot_tuple!(A: 0, B: 1, C: 2);
+snapshot_tuple!(A: 0, B: 1, C: 2, D: 3);
+
+// ---------------------------------------------------------------------------
+// File container
+// ---------------------------------------------------------------------------
+
+/// Builder for the on-disk snapshot container.
+///
+/// Layout (all integers little-endian):
+///
+/// ```text
+/// magic    8 bytes  "PROSNAP\0"
+/// version  u32      FORMAT_VERSION
+/// count    u32      number of sections
+/// then, per section:
+///   id       u32    caller-chosen section id
+///   len      u64    payload length in bytes
+///   crc32    u32    IEEE CRC-32 of the payload
+///   payload  len bytes
+/// ```
+#[derive(Debug, Default)]
+pub struct FileWriter {
+    sections: Vec<(u32, Vec<u8>)>,
+}
+
+impl FileWriter {
+    /// An empty container.
+    pub fn new() -> Self {
+        FileWriter::default()
+    }
+
+    /// Append a section. Ids need not be ordered but must be unique; the
+    /// reader indexes by id.
+    pub fn add_section(&mut self, id: u32, w: Writer) {
+        debug_assert!(
+            self.sections.iter().all(|(i, _)| *i != id),
+            "duplicate snapshot section id {id}"
+        );
+        self.sections.push((id, w.into_bytes()));
+    }
+
+    /// Serialize the container to bytes.
+    pub fn finish(self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        out.extend_from_slice(&(self.sections.len() as u32).to_le_bytes());
+        for (id, payload) in &self.sections {
+            out.extend_from_slice(&id.to_le_bytes());
+            out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+            out.extend_from_slice(&crc32(payload).to_le_bytes());
+            out.extend_from_slice(payload);
+        }
+        out
+    }
+}
+
+/// Parsed snapshot container: magic/version validated and every section's
+/// CRC verified up front, payloads owned.
+#[derive(Debug)]
+pub struct FileReader {
+    sections: Vec<(u32, Vec<u8>)>,
+}
+
+impl FileReader {
+    /// Parse and fully validate a container.
+    pub fn parse(bytes: &[u8]) -> Result<FileReader, CodecError> {
+        let mut r = Reader::new(bytes);
+        let magic = r.take(8)?;
+        if magic != MAGIC {
+            return Err(CodecError::BadMagic);
+        }
+        let version = r.get_u32()?;
+        if version != FORMAT_VERSION {
+            return Err(CodecError::BadVersion(version));
+        }
+        let count = r.get_u32()?;
+        let mut sections = Vec::with_capacity(count as usize);
+        for _ in 0..count {
+            let id = r.get_u32()?;
+            let len = r.get_usize()?;
+            let crc = r.get_u32()?;
+            let payload = r.take(len)?;
+            if crc32(payload) != crc {
+                return Err(CodecError::CrcMismatch { section: id });
+            }
+            sections.push((id, payload.to_vec()));
+        }
+        r.finish()
+            .map_err(|_| CodecError::BadValue("trailing bytes after last section"))?;
+        Ok(FileReader { sections })
+    }
+
+    /// Ids of all sections, in file order.
+    pub fn section_ids(&self) -> Vec<u32> {
+        self.sections.iter().map(|(id, _)| *id).collect()
+    }
+
+    /// A [`Reader`] over section `id`'s payload.
+    pub fn section(&self, id: u32) -> Result<Reader<'_>, CodecError> {
+        self.sections
+            .iter()
+            .find(|(i, _)| *i == id)
+            .map(|(_, p)| Reader::new(p))
+            .ok_or(CodecError::MissingSection(id))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_golden_check_value() {
+        // The universal CRC-32/IEEE check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn primitive_roundtrip() {
+        let mut w = Writer::new();
+        w.put_u8(0xAB);
+        w.put_u32(0xDEAD_BEEF);
+        w.put_u64(u64::MAX - 1);
+        w.put_u128(0x0123_4567_89AB_CDEF_0123_4567_89AB_CDEF);
+        w.put_bool(true);
+        w.put_usize(42);
+        w.put_str("héllo");
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.get_u8().unwrap(), 0xAB);
+        assert_eq!(r.get_u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64().unwrap(), u64::MAX - 1);
+        assert_eq!(r.get_u128().unwrap(), 0x0123_4567_89AB_CDEF_0123_4567_89AB_CDEF);
+        assert!(r.get_bool().unwrap());
+        assert_eq!(r.get_usize().unwrap(), 42);
+        assert_eq!(r.get_string().unwrap(), "héllo");
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn container_roundtrip() {
+        let mut f = FileWriter::new();
+        let mut a = Writer::new();
+        (1u32, 2u64).save(&mut a);
+        f.add_section(7, a);
+        let mut b = Writer::new();
+        vec![Some(3usize), None].save(&mut b);
+        f.add_section(9, b);
+        let bytes = f.finish();
+
+        let parsed = FileReader::parse(&bytes).unwrap();
+        assert_eq!(parsed.section_ids(), vec![7, 9]);
+        let mut r = parsed.section(7).unwrap();
+        assert_eq!(<(u32, u64)>::load(&mut r).unwrap(), (1, 2));
+        r.finish().unwrap();
+        let mut r = parsed.section(9).unwrap();
+        assert_eq!(Vec::<Option<usize>>::load(&mut r).unwrap(), vec![Some(3), None]);
+        assert!(matches!(
+            parsed.section(8),
+            Err(CodecError::MissingSection(8))
+        ));
+    }
+
+    #[test]
+    fn golden_container_bytes() {
+        // Pin the exact byte layout of a minimal container so an accidental
+        // format change (field order, width, endianness, header shape)
+        // fails loudly rather than silently invalidating old checkpoints.
+        let mut w = Writer::new();
+        w.put_u32(0xAABB_CCDD);
+        w.put_u8(0x07);
+        let mut f = FileWriter::new();
+        f.add_section(1, w);
+        let bytes = f.finish();
+        let payload = [0xDDu8, 0xCC, 0xBB, 0xAA, 0x07];
+        let mut expect: Vec<u8> = Vec::new();
+        expect.extend_from_slice(b"PROSNAP\0"); // magic
+        expect.extend_from_slice(&1u32.to_le_bytes()); // format version
+        expect.extend_from_slice(&1u32.to_le_bytes()); // section count
+        expect.extend_from_slice(&1u32.to_le_bytes()); // section id
+        expect.extend_from_slice(&5u64.to_le_bytes()); // payload length
+        expect.extend_from_slice(&crc32(&payload).to_le_bytes());
+        expect.extend_from_slice(&payload);
+        assert_eq!(bytes, expect);
+        // And the CRC itself is pinned as a literal, independent of crc32():
+        assert_eq!(crc32(&payload), 0x885B_CD7A, "payload CRC changed");
+    }
+
+    #[test]
+    fn corruption_is_detected_not_panicking() {
+        let mut w = Writer::new();
+        w.put_u64(123_456_789);
+        let mut f = FileWriter::new();
+        f.add_section(3, w);
+        let mut bytes = f.finish();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF; // flip a payload byte
+        assert_eq!(
+            FileReader::parse(&bytes).err(),
+            Some(CodecError::CrcMismatch { section: 3 })
+        );
+    }
+
+    #[test]
+    fn truncation_and_bad_headers_are_clean_errors() {
+        let mut f = FileWriter::new();
+        let mut w = Writer::new();
+        w.put_u32(1);
+        f.add_section(1, w);
+        let bytes = f.finish();
+        assert!(matches!(
+            FileReader::parse(&bytes[..bytes.len() - 2]),
+            Err(CodecError::Truncated)
+        ));
+        assert!(matches!(
+            FileReader::parse(b"NOTSNAP\0rest"),
+            Err(CodecError::BadMagic)
+        ));
+        let mut vbytes = bytes.clone();
+        vbytes[8] = 99; // bogus format version
+        assert!(matches!(
+            FileReader::parse(&vbytes),
+            Err(CodecError::BadVersion(99))
+        ));
+    }
+
+    #[test]
+    fn collections_roundtrip() {
+        let mut w = Writer::new();
+        let deque: VecDeque<u32> = [5u32, 6, 7].into_iter().collect();
+        deque.save(&mut w);
+        [9u64, 8].save(&mut w);
+        "abc".to_string().save(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(VecDeque::<u32>::load(&mut r).unwrap(), deque);
+        assert_eq!(<[u64; 2]>::load(&mut r).unwrap(), [9, 8]);
+        assert_eq!(String::load(&mut r).unwrap(), "abc");
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn reader_rejects_invalid_values() {
+        let mut r = Reader::new(&[7u8]);
+        assert_eq!(r.get_bool(), Err(CodecError::BadValue("bool")));
+        let mut r = Reader::new(&[2u8]);
+        assert_eq!(
+            Option::<u8>::load(&mut r),
+            Err(CodecError::BadValue("Option tag"))
+        );
+        let mut r = Reader::new(&[1u8, 2]);
+        assert_eq!(r.get_u64(), Err(CodecError::Truncated));
+    }
+}

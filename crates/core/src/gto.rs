@@ -9,6 +9,7 @@
 //! latencies — but, as §IV notes, GTO has no notion of barriers or of TB
 //! residency, which is where PRO wins.
 
+use crate::codec::{self, Snapshot};
 use crate::{IssueInfo, SchedView, WarpScheduler, WarpSlot};
 
 /// Greedy-then-oldest policy.
@@ -64,6 +65,15 @@ impl WarpScheduler for Gto {
                 *g = None;
             }
         }
+    }
+
+    fn save_state(&self, w: &mut codec::Writer) {
+        self.greedy.save(w);
+    }
+
+    fn load_state(&mut self, r: &mut codec::Reader<'_>) -> Result<(), codec::CodecError> {
+        self.greedy = Snapshot::load(r)?;
+        Ok(())
     }
 }
 

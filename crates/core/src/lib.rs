@@ -33,6 +33,7 @@
 //! fork-join pool used to parallelize independent simulation runs).
 
 pub mod adaptive;
+pub mod codec;
 pub mod fuzz;
 pub mod fxhash;
 pub mod gto;
@@ -45,6 +46,7 @@ pub mod rng;
 pub mod tl;
 
 pub use adaptive::{AdaptiveConfig, ProAdaptive};
+pub use codec::{CodecError, FileReader, FileWriter, Reader, Snapshot, Writer};
 pub use fuzz::Fuzz;
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use gto::Gto;
@@ -179,6 +181,65 @@ pub trait WarpScheduler: Send {
     /// PRO implements this; it regenerates the paper's Table IV.
     fn tb_priority_trace(&self, _view: &SchedView) -> Option<Vec<u32>> {
         None
+    }
+
+    /// Serialize the policy's internal dynamic state for a checkpoint.
+    /// Stateless policies keep the default no-op; stateful ones must write
+    /// everything [`WarpScheduler::load_state`] needs to continue
+    /// bit-identically.
+    fn save_state(&self, _w: &mut codec::Writer) {}
+
+    /// Restore internal state previously written by
+    /// [`WarpScheduler::save_state`] into a freshly built policy of the
+    /// same kind and geometry.
+    fn load_state(&mut self, _r: &mut codec::Reader<'_>) -> Result<(), codec::CodecError> {
+        Ok(())
+    }
+}
+
+impl Snapshot for WarpState {
+    fn save(&self, w: &mut Writer) {
+        w.put_bool(self.active);
+        w.put_usize(self.tb_slot);
+        w.put_u32(self.index_in_tb);
+        w.put_u64(self.progress);
+        w.put_bool(self.at_barrier);
+        w.put_bool(self.finished);
+        w.put_bool(self.blocked_on_longlat);
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(WarpState {
+            active: r.get_bool()?,
+            tb_slot: r.get_usize()?,
+            index_in_tb: r.get_u32()?,
+            progress: r.get_u64()?,
+            at_barrier: r.get_bool()?,
+            finished: r.get_bool()?,
+            blocked_on_longlat: r.get_bool()?,
+        })
+    }
+}
+
+impl Snapshot for TbState {
+    fn save(&self, w: &mut Writer) {
+        w.put_bool(self.occupied);
+        w.put_u32(self.global_index);
+        w.put_u64(self.progress);
+        w.put_u32(self.num_warps);
+        w.put_u32(self.warps_at_barrier);
+        w.put_u32(self.warps_finished);
+        w.put_u64(self.launched_at);
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(TbState {
+            occupied: r.get_bool()?,
+            global_index: r.get_u32()?,
+            progress: r.get_u64()?,
+            num_warps: r.get_u32()?,
+            warps_at_barrier: r.get_u32()?,
+            warps_finished: r.get_u32()?,
+            launched_at: r.get_u64()?,
+        })
     }
 }
 

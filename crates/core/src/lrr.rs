@@ -8,6 +8,7 @@
 //! all warps make near-equal progress and hit long-latency instructions
 //! together — is a direct consequence of this rotation.
 
+use crate::codec::{self, Snapshot};
 use crate::{IssueInfo, SchedView, WarpScheduler, WarpSlot};
 
 /// Loose round-robin policy.
@@ -53,6 +54,15 @@ impl WarpScheduler for Lrr {
 
     fn on_issue(&mut self, unit: u32, slot: WarpSlot, _info: IssueInfo, _view: &SchedView) {
         self.last_issued[unit as usize] = slot;
+    }
+
+    fn save_state(&self, w: &mut codec::Writer) {
+        self.last_issued.save(w);
+    }
+
+    fn load_state(&mut self, r: &mut codec::Reader<'_>) -> Result<(), codec::CodecError> {
+        self.last_issued = Snapshot::load(r)?;
+        Ok(())
     }
 }
 

@@ -12,6 +12,7 @@
 //! the shootout a CTA-granular baseline between LRR (no structure) and
 //! PRO (dynamic progress-based structure).
 
+use crate::codec::{self, Snapshot};
 use crate::{IssueInfo, SchedView, WarpScheduler, WarpSlot};
 
 /// CTA-priority policy.
@@ -94,6 +95,15 @@ impl WarpScheduler for OwlLite {
                 *l = None;
             }
         }
+    }
+
+    fn save_state(&self, w: &mut codec::Writer) {
+        self.last_issued.save(w);
+    }
+
+    fn load_state(&mut self, r: &mut codec::Reader<'_>) -> Result<(), codec::CodecError> {
+        self.last_issued = Snapshot::load(r)?;
+        Ok(())
     }
 }
 

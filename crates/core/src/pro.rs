@@ -40,6 +40,7 @@
 //! fastTBPhase `noWait` TBs are prioritized in *decreasing* order of
 //! progress. We follow the prose; see DESIGN.md §4.
 
+use crate::codec::{self, CodecError, Snapshot};
 use crate::{IssueInfo, SchedView, TbSlot, WarpScheduler, WarpSlot};
 
 /// Tunables and ablation switches for [`Pro`].
@@ -107,6 +108,33 @@ pub struct Pro {
     last_sort_cycle: u64,
     in_slow_phase: bool,
     scratch: Vec<WarpSlot>,
+}
+
+impl TbClass {
+    fn to_u8(self) -> u8 {
+        match self {
+            TbClass::Empty => 0,
+            TbClass::NoWait => 1,
+            TbClass::BarrierWait => 2,
+            TbClass::FinishWait => 3,
+            TbClass::BarrierWait1 => 4,
+            TbClass::FinishNoWait => 5,
+            TbClass::Finished => 6,
+        }
+    }
+
+    fn from_u8(v: u8) -> Result<Self, CodecError> {
+        Ok(match v {
+            0 => TbClass::Empty,
+            1 => TbClass::NoWait,
+            2 => TbClass::BarrierWait,
+            3 => TbClass::FinishWait,
+            4 => TbClass::BarrierWait1,
+            5 => TbClass::FinishNoWait,
+            6 => TbClass::Finished,
+            _ => return Err(CodecError::BadValue("TbClass tag")),
+        })
+    }
 }
 
 /// Warp-sort directions.
@@ -439,6 +467,43 @@ impl WarpScheduler for Pro {
             }
         }
         Some(out)
+    }
+
+    // `rank` and `scratch` are cycle-scoped scratch (rebuilt by the next
+    // `begin_cycle`), so the snapshot carries only the durable state: the
+    // classification, the three priority lists, the cached warp orders and
+    // the phase/sort clocks.
+    fn save_state(&self, w: &mut codec::Writer) {
+        w.put_u64(self.class.len() as u64);
+        for c in &self.class {
+            w.put_u8(c.to_u8());
+        }
+        self.fin_order.save(w);
+        self.bar_order.save(w);
+        self.rem_order.save(w);
+        self.warp_order.save(w);
+        w.put_u64(self.last_sort_cycle);
+        w.put_bool(self.in_slow_phase);
+    }
+
+    fn load_state(&mut self, r: &mut codec::Reader<'_>) -> Result<(), CodecError> {
+        let n = r.get_usize()?;
+        if n != self.class.len() {
+            return Err(CodecError::BadValue("PRO TB slot count"));
+        }
+        for c in &mut self.class {
+            *c = TbClass::from_u8(r.get_u8()?)?;
+        }
+        self.fin_order = Snapshot::load(r)?;
+        self.bar_order = Snapshot::load(r)?;
+        self.rem_order = Snapshot::load(r)?;
+        self.warp_order = Snapshot::load(r)?;
+        if self.warp_order.len() != n {
+            return Err(CodecError::BadValue("PRO warp_order length"));
+        }
+        self.last_sort_cycle = r.get_u64()?;
+        self.in_slow_phase = r.get_bool()?;
+        Ok(())
     }
 }
 

@@ -630,7 +630,7 @@ macro_rules! prop_assume {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::panic::catch_unwind;
 
     fn panic_message(f: impl FnOnce() + std::panic::UnwindSafe) -> String {
         let err = catch_unwind(f).expect_err("expected the property to fail");

@@ -10,6 +10,7 @@
 //! groups reach long-latency instructions at different times — the effect
 //! PRO generalizes with per-TB/per-warp progress priorities.
 
+use crate::codec::{self, Snapshot};
 use crate::{IssueInfo, SchedView, WarpScheduler, WarpSlot};
 use std::collections::VecDeque;
 
@@ -151,6 +152,28 @@ impl WarpScheduler for TwoLevel {
                 u.last_issued = None;
             }
         }
+    }
+
+    fn save_state(&self, w: &mut codec::Writer) {
+        w.put_u64(self.units.len() as u64);
+        for u in &self.units {
+            u.active.save(w);
+            u.pending.save(w);
+            u.last_issued.save(w);
+        }
+    }
+
+    fn load_state(&mut self, r: &mut codec::Reader<'_>) -> Result<(), codec::CodecError> {
+        let n = r.get_usize()?;
+        if n != self.units.len() {
+            return Err(codec::CodecError::BadValue("TL unit count"));
+        }
+        for u in &mut self.units {
+            u.active = Snapshot::load(r)?;
+            u.pending = Snapshot::load(r)?;
+            u.last_issued = Snapshot::load(r)?;
+        }
+        Ok(())
     }
 }
 

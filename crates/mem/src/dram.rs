@@ -7,6 +7,7 @@
 //! *variance* — burst row-hit streaks vs. expensive row switches — that
 //! differentiates warp schedulers.
 
+use pro_core::codec::{CodecError, Reader, Snapshot, Writer};
 use std::collections::VecDeque;
 
 /// Arbitration policy for a DRAM channel.
@@ -203,6 +204,105 @@ impl<T: Copy> DramChannel<T> {
         self.bus_free_at = now + self.cfg.t_burst;
         self.stats.total_latency += done - req.arrival;
         Some((done, req.line, req.tag))
+    }
+}
+
+impl Snapshot for DramConfig {
+    fn save(&self, w: &mut Writer) {
+        w.put_u8(match self.policy {
+            DramPolicy::FrFcfs => 0,
+            DramPolicy::Fcfs => 1,
+        });
+        w.put_u32(self.banks);
+        w.put_u64(self.row_bytes);
+        w.put_u64(self.t_cas);
+        w.put_u64(self.t_rp_rcd);
+        w.put_u64(self.t_burst);
+        w.put_usize(self.queue_depth);
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(DramConfig {
+            policy: match r.get_u8()? {
+                0 => DramPolicy::FrFcfs,
+                1 => DramPolicy::Fcfs,
+                _ => return Err(CodecError::BadValue("DramPolicy tag")),
+            },
+            banks: r.get_u32()?,
+            row_bytes: r.get_u64()?,
+            t_cas: r.get_u64()?,
+            t_rp_rcd: r.get_u64()?,
+            t_burst: r.get_u64()?,
+            queue_depth: r.get_usize()?,
+        })
+    }
+}
+
+impl Snapshot for DramStats {
+    fn save(&self, w: &mut Writer) {
+        w.put_u64(self.row_hits);
+        w.put_u64(self.row_misses);
+        w.put_u64(self.accepted);
+        w.put_u64(self.total_latency);
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(DramStats {
+            row_hits: r.get_u64()?,
+            row_misses: r.get_u64()?,
+            accepted: r.get_u64()?,
+            total_latency: r.get_u64()?,
+        })
+    }
+}
+
+impl Snapshot for Bank {
+    fn save(&self, w: &mut Writer) {
+        self.open_row.save(w);
+        w.put_u64(self.busy_until);
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(Bank {
+            open_row: Snapshot::load(r)?,
+            busy_until: r.get_u64()?,
+        })
+    }
+}
+
+impl<T: Copy + Snapshot> Snapshot for Req<T> {
+    fn save(&self, w: &mut Writer) {
+        w.put_u64(self.line);
+        w.put_u64(self.arrival);
+        self.tag.save(w);
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(Req {
+            line: r.get_u64()?,
+            arrival: r.get_u64()?,
+            tag: T::load(r)?,
+        })
+    }
+}
+
+impl<T: Copy + Snapshot> Snapshot for DramChannel<T> {
+    fn save(&self, w: &mut Writer) {
+        self.cfg.save(w);
+        self.banks.save(w);
+        self.queue.save(w);
+        w.put_u64(self.bus_free_at);
+        self.stats.save(w);
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let cfg = DramConfig::load(r)?;
+        let banks: Vec<Bank> = Snapshot::load(r)?;
+        if banks.len() != cfg.banks as usize {
+            return Err(CodecError::BadValue("DRAM bank count"));
+        }
+        Ok(DramChannel {
+            cfg,
+            banks,
+            queue: Snapshot::load(r)?,
+            bus_free_at: r.get_u64()?,
+            stats: DramStats::load(r)?,
+        })
     }
 }
 

@@ -1,6 +1,8 @@
 //! Functional backing store for device global memory, plus a bump allocator
 //! workloads use to lay out their buffers (the CUDA `cudaMalloc` stand-in).
 
+use pro_core::codec::{CodecError, Reader, Snapshot, Writer};
+
 /// Device global memory: a flat, word-addressed store.
 ///
 /// Addresses are byte addresses; accesses must be 4-byte aligned (VPTX loads
@@ -79,6 +81,40 @@ impl GlobalMem {
     /// Copy out `len` words starting at byte address `addr`.
     pub fn read_slice(&self, addr: u64, len: usize) -> Vec<u32> {
         (0..len).map(|i| self.read(addr + i as u64 * 4)).collect()
+    }
+}
+
+impl Snapshot for GlobalMem {
+    // Device memory is mostly zeros (64 MB store, a few MB touched), so the
+    // encoding keeps the total word count but stores only the prefix up to
+    // the last nonzero word.
+    fn save(&self, w: &mut Writer) {
+        w.put_u64(self.words.len() as u64);
+        let used = self
+            .words
+            .iter()
+            .rposition(|&x| x != 0)
+            .map_or(0, |i| i + 1);
+        w.put_u64(used as u64);
+        for &word in &self.words[..used] {
+            w.put_u32(word);
+        }
+        w.put_u64(self.next_alloc);
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let total = r.get_usize()?;
+        let used = r.get_usize()?;
+        if used > total {
+            return Err(CodecError::BadValue("gmem used > total"));
+        }
+        let mut words = vec![0u32; total];
+        for word in &mut words[..used] {
+            *word = r.get_u32()?;
+        }
+        Ok(GlobalMem {
+            words,
+            next_alloc: r.get_u64()?,
+        })
     }
 }
 

@@ -16,10 +16,25 @@
 
 use crate::cache::{Cache, CacheConfig, CacheStats, Lookup};
 use crate::dram::{DramChannel, DramConfig, DramStats};
+use pro_core::codec::{CodecError, Reader, Snapshot, Writer};
 use pro_trace::{Event as TraceEvent, EventClass, Hist16, NoopTracer, Tracer};
 use std::cmp::Reverse;
 use pro_core::FxHashMap;
 use std::collections::{BinaryHeap, VecDeque};
+
+/// Encode a [`Hist16`] (a foreign type, so it cannot implement [`Snapshot`]
+/// here) from its raw parts.
+pub fn save_hist(h: &Hist16, w: &mut Writer) {
+    h.counts().save(w);
+    w.put_u64(h.sum());
+}
+
+/// Decode a [`Hist16`] written by [`save_hist`].
+pub fn load_hist(r: &mut Reader<'_>) -> Result<Hist16, CodecError> {
+    let counts: [u64; 16] = Snapshot::load(r)?;
+    let sum = r.get_u64()?;
+    Ok(Hist16::from_raw(counts, sum))
+}
 
 /// Identifier for one warp memory instruction in flight. Allocated by the
 /// SM; unique per SM (the subsystem keys on `(sm, id)`).
@@ -113,6 +128,21 @@ struct Txn {
     is_write: bool,
 }
 
+impl Snapshot for Txn {
+    fn save(&self, w: &mut Writer) {
+        w.put_u32(self.sm);
+        w.put_u64(self.line);
+        w.put_bool(self.is_write);
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(Txn {
+            sm: r.get_u32()?,
+            line: r.get_u64()?,
+            is_write: r.get_bool()?,
+        })
+    }
+}
+
 #[derive(Debug, Clone, Copy)]
 enum Event {
     /// A transaction reaches its L2 slice input queue.
@@ -123,6 +153,75 @@ enum Event {
     ReturnToSm { sm: u32, line: u64 },
     /// An L1 hit's latency elapsed for one line of `access`.
     L1Done { sm: u32, access: AccessId },
+}
+
+impl Snapshot for Event {
+    fn save(&self, w: &mut Writer) {
+        match *self {
+            Event::ArriveL2(txn) => {
+                w.put_u8(0);
+                txn.save(w);
+            }
+            Event::DramDone { part, line } => {
+                w.put_u8(1);
+                w.put_u32(part);
+                w.put_u64(line);
+            }
+            Event::ReturnToSm { sm, line } => {
+                w.put_u8(2);
+                w.put_u32(sm);
+                w.put_u64(line);
+            }
+            Event::L1Done { sm, access } => {
+                w.put_u8(3);
+                w.put_u32(sm);
+                w.put_u64(access);
+            }
+        }
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(match r.get_u8()? {
+            0 => Event::ArriveL2(Txn::load(r)?),
+            1 => Event::DramDone {
+                part: r.get_u32()?,
+                line: r.get_u64()?,
+            },
+            2 => Event::ReturnToSm {
+                sm: r.get_u32()?,
+                line: r.get_u64()?,
+            },
+            3 => Event::L1Done {
+                sm: r.get_u32()?,
+                access: r.get_u64()?,
+            },
+            _ => return Err(CodecError::BadValue("mem Event tag")),
+        })
+    }
+}
+
+impl Snapshot for MemStats {
+    fn save(&self, w: &mut Writer) {
+        self.l1.save(w);
+        self.l2.save(w);
+        self.dram.save(w);
+        w.put_u64(self.loads);
+        w.put_u64(self.store_lines);
+        w.put_u64(self.load_latency_sum);
+        w.put_u64(self.loads_completed);
+        save_hist(&self.load_lat_hist, w);
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(MemStats {
+            l1: Snapshot::load(r)?,
+            l2: Snapshot::load(r)?,
+            dram: Snapshot::load(r)?,
+            loads: r.get_u64()?,
+            store_lines: r.get_u64()?,
+            load_latency_sum: r.get_u64()?,
+            loads_completed: r.get_u64()?,
+            load_lat_hist: load_hist(r)?,
+        })
+    }
 }
 
 struct Slice {
@@ -499,6 +598,94 @@ impl MemSubsystem {
     /// Per-SM L1 statistics (for per-kernel cache miss-rate reporting).
     pub fn l1_stats(&self, sm: u32) -> CacheStats {
         self.l1s[sm as usize].stats
+    }
+
+    /// Serialize the subsystem's complete dynamic state.
+    ///
+    /// The event heap is written as `(time, seq)`-sorted triples so
+    /// identical states always yield identical bytes, and the `outstanding`
+    /// map is written in sorted key order for the same reason. `seq` is
+    /// preserved exactly — event tie-breaking after a restore must match the
+    /// uninterrupted run bit for bit.
+    pub fn save_snapshot(&self, w: &mut Writer) {
+        self.l1s.save(w);
+        w.put_u64(self.slices.len() as u64);
+        for s in &self.slices {
+            s.cache.save(w);
+            s.in_q.save(w);
+        }
+        self.drams.save(w);
+        let mut pending: Vec<(u64, u64, usize)> =
+            self.events.iter().map(|&Reverse(e)| e).collect();
+        pending.sort_unstable();
+        w.put_u64(pending.len() as u64);
+        for (t, s, idx) in pending {
+            w.put_u64(t);
+            w.put_u64(s);
+            self.event_pool[idx].save(w);
+        }
+        w.put_u64(self.seq);
+        let mut keys: Vec<u64> = self.outstanding.keys().copied().collect();
+        keys.sort_unstable();
+        w.put_u64(keys.len() as u64);
+        for k in keys {
+            let (rem, begun) = self.outstanding[&k];
+            w.put_u64(k);
+            w.put_u32(rem);
+            w.put_u64(begun);
+        }
+        self.completions.save(w);
+        self.stats_extra.save(w);
+    }
+
+    /// Restore state written by [`Self::save_snapshot`] into a subsystem
+    /// built with the same configuration and SM count.
+    pub fn restore_snapshot(&mut self, r: &mut Reader<'_>) -> Result<(), CodecError> {
+        let l1s: Vec<Cache<AccessId>> = Snapshot::load(r)?;
+        if l1s.len() != self.l1s.len() {
+            return Err(CodecError::BadValue("mem subsystem SM count"));
+        }
+        self.l1s = l1s;
+        let n_slices = r.get_usize()?;
+        if n_slices != self.slices.len() {
+            return Err(CodecError::BadValue("mem subsystem partition count"));
+        }
+        for s in &mut self.slices {
+            s.cache = Snapshot::load(r)?;
+            s.in_q = Snapshot::load(r)?;
+        }
+        self.drams = Snapshot::load(r)?;
+        if self.drams.len() != n_slices {
+            return Err(CodecError::BadValue("mem subsystem DRAM channel count"));
+        }
+        // Re-pack the event pool densely: entries in the file are sorted, so
+        // assigning idx = arrival position keeps the heap contents unique and
+        // the pool free of dead entries from before the checkpoint.
+        self.events.clear();
+        self.event_pool.clear();
+        let n_events = r.get_usize()?;
+        for idx in 0..n_events {
+            let t = r.get_u64()?;
+            let s = r.get_u64()?;
+            self.event_pool.push(Event::load(r)?);
+            self.events.push(Reverse((t, s, idx)));
+        }
+        self.seq = r.get_u64()?;
+        self.outstanding.clear();
+        let n_out = r.get_usize()?;
+        for _ in 0..n_out {
+            let k = r.get_u64()?;
+            let rem = r.get_u32()?;
+            let begun = r.get_u64()?;
+            self.outstanding.insert(k, (rem, begun));
+        }
+        let completions: Vec<VecDeque<AccessId>> = Snapshot::load(r)?;
+        if completions.len() != self.completions.len() {
+            return Err(CodecError::BadValue("mem subsystem completions length"));
+        }
+        self.completions = completions;
+        self.stats_extra = Snapshot::load(r)?;
+        Ok(())
     }
 }
 

@@ -1,0 +1,140 @@
+//! Checkpoint/resume support types for [`crate::Gpu`] launches.
+//!
+//! A *checkpoint* is a complete, versioned binary snapshot of a launch in
+//! flight — SM pipelines, SIMT stacks, scoreboards, caches, MSHRs, DRAM
+//! queues, scheduler-internal state, trace accumulators and the run-loop
+//! bookkeeping — encoded with [`pro_core::codec`] (magic, format version,
+//! per-section CRC-32). Restoring a snapshot into a freshly constructed
+//! [`crate::Gpu`] and continuing the run produces **bit-identical** results
+//! to the uninterrupted run: the same counters, the same stall attribution,
+//! the same trace bytes, on the serial and the parallel engine alike.
+//!
+//! See `DESIGN.md` §12 for the byte-level container specification.
+
+use pro_core::codec::{CodecError, FileReader};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use crate::result::RunResult;
+
+/// Knobs controlling mid-launch checkpointing, passed to
+/// [`crate::Gpu::launch_checkpointed`] and [`crate::Gpu::resume`].
+///
+/// The default (`every = 0`, `pause_at = 0`) disables both mechanisms, which
+/// makes the checkpointed entry points behave exactly like [`crate::Gpu::launch`].
+#[derive(Debug, Clone, Default)]
+pub struct CheckpointOptions {
+    /// Write a checkpoint to [`CheckpointOptions::path`] every `every`
+    /// kernel-relative cycles (0 = never). Each write atomically replaces
+    /// the previous one, so the file always holds the latest consistent
+    /// snapshot even if the process dies mid-run.
+    pub every: u64,
+    /// Destination file for periodic checkpoints. Required when
+    /// [`CheckpointOptions::every`] is nonzero.
+    pub path: Option<PathBuf>,
+    /// Pause the launch once at least `pause_at` kernel-relative cycles
+    /// have elapsed (0 = run to completion), returning
+    /// [`LaunchStatus::Paused`] with an in-memory snapshot instead of a
+    /// result. Used by tests and by hosts that want to interleave work.
+    pub pause_at: u64,
+}
+
+/// Outcome of a checkpointed launch: either the kernel ran to completion,
+/// or it was paused at [`CheckpointOptions::pause_at`] and can be resumed
+/// later (in this process or another) via [`crate::Gpu::resume`].
+#[derive(Debug)]
+pub enum LaunchStatus {
+    /// The grid finished; the usual launch result.
+    Completed(RunResult),
+    /// The launch was paused; the snapshot resumes it bit-identically.
+    Paused(GpuSnapshot),
+}
+
+impl LaunchStatus {
+    /// Unwrap the completed result, panicking on [`LaunchStatus::Paused`].
+    /// Convenience for call sites that did not request a pause.
+    pub fn expect_completed(self) -> RunResult {
+        match self {
+            LaunchStatus::Completed(r) => r,
+            LaunchStatus::Paused(_) => panic!("launch paused but no pause was requested"),
+        }
+    }
+}
+
+/// An opaque, self-validating snapshot of a launch in flight.
+///
+/// The byte layout is the [`pro_core::codec`] container format; the
+/// constructor methods never inspect the payload beyond what the container
+/// header requires, so corruption is reported lazily by
+/// [`GpuSnapshot::validate`] or at resume time — always as a typed
+/// [`CodecError`], never a panic.
+#[derive(Debug, Clone)]
+pub struct GpuSnapshot {
+    bytes: Vec<u8>,
+}
+
+impl GpuSnapshot {
+    /// Wrap raw snapshot bytes (e.g. read from a socket or archive).
+    pub fn from_bytes(bytes: Vec<u8>) -> Self {
+        GpuSnapshot { bytes }
+    }
+
+    /// The raw container bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Consume the snapshot, yielding its bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.bytes
+    }
+
+    /// Parse the container header and verify every section's CRC.
+    pub fn validate(&self) -> Result<(), CodecError> {
+        FileReader::parse(&self.bytes).map(|_| ())
+    }
+
+    /// Read a snapshot file from disk.
+    pub fn read_from(path: &Path) -> std::io::Result<Self> {
+        Ok(GpuSnapshot {
+            bytes: std::fs::read(path)?,
+        })
+    }
+
+    /// Write the snapshot to `path` atomically: the bytes land in a
+    /// sibling temporary file first and are `rename`d into place, so a
+    /// crash mid-write never leaves a torn checkpoint behind.
+    pub fn write_to(&self, path: &Path) -> std::io::Result<()> {
+        let tmp = path.with_extension("tmp");
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(&self.bytes)?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_file_roundtrip_is_atomic() {
+        let dir = std::env::temp_dir().join("pro_snap_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.ckpt");
+        let snap = GpuSnapshot::from_bytes(vec![1, 2, 3, 4]);
+        snap.write_to(&path).unwrap();
+        let back = GpuSnapshot::read_from(&path).unwrap();
+        assert_eq!(back.as_bytes(), &[1, 2, 3, 4]);
+        assert!(!path.with_extension("tmp").exists(), "tmp file renamed away");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn garbage_bytes_fail_validation_cleanly() {
+        let snap = GpuSnapshot::from_bytes(b"definitely not a snapshot".to_vec());
+        assert_eq!(snap.validate(), Err(CodecError::BadMagic));
+    }
+}

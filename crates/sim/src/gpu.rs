@@ -15,7 +15,9 @@
 //! ([`GpuConfig::sm_workers`]) with **bit-identical** results — counters,
 //! stall attribution, and trace streams all match the serial engine.
 
+use crate::checkpoint::{CheckpointOptions, GpuSnapshot, LaunchStatus};
 use crate::result::{RunResult, TbOrderSnapshot, TbSpan};
+use pro_core::codec::{CodecError, FileReader, FileWriter, Reader, Snapshot, Writer};
 use pro_core::{SchedulerKind, WarpScheduler};
 use pro_isa::Kernel;
 use pro_mem::{GlobalMem, MemConfig, MemSubsystem};
@@ -23,6 +25,14 @@ use pro_sm::{Sm, SmConfig, SmStats, TickReport};
 use pro_trace::{mask_of, BufferTracer, Event as TraceEvent, EventClass, NoopTracer, Tracer};
 use std::collections::{HashMap, VecDeque};
 use std::sync::{mpsc, RwLock};
+
+/// Snapshot container section ids (see `DESIGN.md` §12).
+const SEC_META: u32 = 1;
+const SEC_LOOP: u32 = 2;
+const SEC_GMEM: u32 = 3;
+const SEC_MEM: u32 = 4;
+/// Per-SM sections live at `SEC_SM_BASE + sm_index`.
+const SEC_SM_BASE: u32 = 10;
 
 /// Whole-GPU configuration (defaults = the paper's Table I).
 #[derive(Debug, Clone, Copy)]
@@ -119,6 +129,35 @@ impl<'a> Recorder<'a> {
         }
         (self.timeline, self.util)
     }
+
+    /// Serialize the recorder's accumulated *data* (not its subscriptions,
+    /// which are rebuilt from `TraceOptions` on resume). The in-flight TB
+    /// starts map is written in sorted key order for canonical bytes.
+    fn save_state(&self, w: &mut Writer) {
+        let mut starts: Vec<(u32, u32, u64)> = self
+            .starts
+            .iter()
+            .map(|(&(sm, tb), &c)| (sm, tb, c))
+            .collect();
+        starts.sort_unstable();
+        starts.save(w);
+        self.timeline.save(w);
+        self.util.save(w);
+    }
+
+    /// Restore data written by [`Recorder::save_state`] into a freshly
+    /// constructed recorder of the same geometry.
+    fn load_state(&mut self, r: &mut Reader<'_>) -> Result<(), CodecError> {
+        let starts: Vec<(u32, u32, u64)> = Snapshot::load(r)?;
+        self.starts = starts.into_iter().map(|(sm, tb, c)| ((sm, tb), c)).collect();
+        self.timeline = Snapshot::load(r)?;
+        let util: Vec<Vec<u64>> = Snapshot::load(r)?;
+        if util.len() != self.util.len() {
+            return Err(CodecError::BadValue("utilization row count"));
+        }
+        self.util = util;
+        Ok(())
+    }
 }
 
 impl Tracer for Recorder<'_> {
@@ -183,6 +222,12 @@ pub enum SimError {
         /// TBs still unfinished.
         pending_tbs: u32,
     },
+    /// A periodic checkpoint could not be written, or the checkpoint
+    /// options are inconsistent (e.g. an interval without a path).
+    CheckpointIo(String),
+    /// A resume snapshot failed to decode, failed a CRC check, or belongs
+    /// to a different kernel/configuration/scheduler than this launch.
+    Snapshot(CodecError),
 }
 
 impl std::fmt::Display for SimError {
@@ -192,11 +237,19 @@ impl std::fmt::Display for SimError {
                 f,
                 "simulation exceeded {at_cycle} cycles with {pending_tbs} TBs outstanding"
             ),
+            SimError::CheckpointIo(why) => write!(f, "checkpoint write failed: {why}"),
+            SimError::Snapshot(e) => write!(f, "cannot resume from snapshot: {e}"),
         }
     }
 }
 
 impl std::error::Error for SimError {}
+
+impl From<CodecError> for SimError {
+    fn from(e: CodecError) -> Self {
+        SimError::Snapshot(e)
+    }
+}
 
 /// A simulated GPU: construct once per experiment, [`Gpu::launch`] one or
 /// more kernels sequentially (global memory persists across launches, so
@@ -301,7 +354,119 @@ impl Gpu {
         trace: TraceOptions,
         tracer: &mut dyn Tracer,
     ) -> Result<RunResult, SimError> {
+        self.launch_inner(kernel, factory, trace, tracer, &CheckpointOptions::default(), None)
+            .map(LaunchStatus::expect_completed)
+    }
+
+    /// [`Gpu::launch`] with checkpointing: periodically persist the run to
+    /// [`CheckpointOptions::path`] and/or pause it at
+    /// [`CheckpointOptions::pause_at`] cycles, returning the snapshot.
+    pub fn launch_checkpointed(
+        &mut self,
+        kernel: &Kernel,
+        scheduler: SchedulerKind,
+        trace: TraceOptions,
+        ckpt: &CheckpointOptions,
+    ) -> Result<LaunchStatus, SimError> {
+        self.launch_checkpointed_traced(kernel, scheduler, trace, ckpt, &mut NoopTracer)
+    }
+
+    /// [`Gpu::launch_checkpointed`] with an external [`Tracer`] on the bus.
+    pub fn launch_checkpointed_traced(
+        &mut self,
+        kernel: &Kernel,
+        scheduler: SchedulerKind,
+        trace: TraceOptions,
+        ckpt: &CheckpointOptions,
+        tracer: &mut dyn Tracer,
+    ) -> Result<LaunchStatus, SimError> {
+        let (w, t, u) = (
+            self.cfg.sm.max_warps,
+            self.cfg.sm.max_tbs,
+            self.cfg.sm.units,
+        );
+        self.launch_inner(kernel, &mut || scheduler.build(w, t, u), trace, tracer, ckpt, None)
+    }
+
+    /// Continue a paused or checkpointed launch from `snapshot`.
+    ///
+    /// The GPU, `kernel`, `scheduler` and `trace` must match the original
+    /// launch (the snapshot carries their identities and refuses a
+    /// mismatch); `ckpt` may differ — e.g. resume with a new pause point.
+    /// The continuation is bit-identical to the uninterrupted run: same
+    /// counters, same stall attribution, same trace bytes. `sm_workers`
+    /// is explicitly *not* part of the identity — a snapshot taken on the
+    /// serial engine resumes on the parallel engine and vice versa.
+    pub fn resume(
+        &mut self,
+        snapshot: &GpuSnapshot,
+        kernel: &Kernel,
+        scheduler: SchedulerKind,
+        trace: TraceOptions,
+        ckpt: &CheckpointOptions,
+    ) -> Result<LaunchStatus, SimError> {
+        self.resume_traced(snapshot, kernel, scheduler, trace, ckpt, &mut NoopTracer)
+    }
+
+    /// [`Gpu::resume`] with an external [`Tracer`] on the bus. The tracer
+    /// sees events from the resume point on; `on_kernel_begin` is *not*
+    /// re-emitted, so concatenating the pre-pause and post-resume streams
+    /// reproduces the uninterrupted stream byte for byte.
+    pub fn resume_traced(
+        &mut self,
+        snapshot: &GpuSnapshot,
+        kernel: &Kernel,
+        scheduler: SchedulerKind,
+        trace: TraceOptions,
+        ckpt: &CheckpointOptions,
+        tracer: &mut dyn Tracer,
+    ) -> Result<LaunchStatus, SimError> {
+        let (w, t, u) = (
+            self.cfg.sm.max_warps,
+            self.cfg.sm.max_tbs,
+            self.cfg.sm.units,
+        );
+        self.launch_inner(
+            kernel,
+            &mut || scheduler.build(w, t, u),
+            trace,
+            tracer,
+            ckpt,
+            Some(snapshot),
+        )
+    }
+
+    fn launch_inner(
+        &mut self,
+        kernel: &Kernel,
+        factory: &mut dyn FnMut() -> Box<dyn WarpScheduler>,
+        trace: TraceOptions,
+        tracer: &mut dyn Tracer,
+        ckpt: &CheckpointOptions,
+        resume: Option<&GpuSnapshot>,
+    ) -> Result<LaunchStatus, SimError> {
+        if ckpt.every > 0 && ckpt.path.is_none() {
+            return Err(SimError::CheckpointIo(
+                "a checkpoint interval was set without a checkpoint path".into(),
+            ));
+        }
         let num_sms = self.cfg.num_sms as usize;
+        // Parse, CRC-check and identity-check the resume container before
+        // touching any simulator state, so a bad snapshot leaves the GPU
+        // untouched and reusable.
+        let resume_fr = match resume {
+            Some(s) => Some(FileReader::parse(s.as_bytes())?),
+            None => None,
+        };
+        let mut meta_loaded: Option<Meta> = None;
+        if let Some(fr) = &resume_fr {
+            let mut r = fr.section(SEC_META)?;
+            let meta = Meta::load(&mut r)?;
+            r.finish()?;
+            meta.check_matches(&Meta::of(&self.cfg, kernel, "", 0, 0))?;
+            meta_loaded = Some(meta);
+        }
+
         for sm in &mut self.sms {
             sm.begin_kernel(kernel);
             sm.stats = SmStats::default();
@@ -313,14 +478,37 @@ impl Gpu {
         let total_tbs = kernel.launch.num_blocks();
         let mut pending: VecDeque<u32> = (0..total_tbs).collect();
         let mut outstanding = 0u32; // launched but unfinished
-        let start_cycle = self.cycle;
+        let mut start_cycle = self.cycle;
         let mut rr_next_sm = 0usize;
         let mut tb_order: Vec<TbOrderSnapshot> = Vec::new();
+        if let Some(meta) = &meta_loaded {
+            self.cycle = meta.cycle;
+            start_cycle = meta.start_cycle;
+        }
         let mut last_order_sample = start_cycle;
         // The bus: classic timeline/utilization traces are rebuilt from TB
         // and issue events; the user tracer sees everything it asked for.
         let mut recorder = Recorder::new(tracer, &trace, start_cycle, num_sms);
-        recorder.on_kernel_begin(&kernel.program.name, start_cycle);
+        if let Some(fr) = &resume_fr {
+            // Run-loop bookkeeping, trace accumulators, device memory and
+            // the memory hierarchy, in container order.
+            let mut r = fr.section(SEC_LOOP)?;
+            pending = Snapshot::load(&mut r)?;
+            outstanding = r.get_u32()?;
+            rr_next_sm = r.get_usize()?;
+            tb_order = Snapshot::load(&mut r)?;
+            last_order_sample = r.get_u64()?;
+            recorder.load_state(&mut r)?;
+            r.finish()?;
+            let mut r = fr.section(SEC_GMEM)?;
+            self.gmem = Snapshot::load(&mut r)?;
+            r.finish()?;
+            let mut r = fr.section(SEC_MEM)?;
+            self.mem.restore_snapshot(&mut r)?;
+            r.finish()?;
+        } else {
+            recorder.on_kernel_begin(&kernel.program.name, start_cycle);
+        }
         // Hoisted: one enabled() check per launch, not per cycle.
         let bus_on = recorder.enabled();
         // Per-SM cycle buffers answer `wants` from this snapshot of the
@@ -334,18 +522,28 @@ impl Gpu {
         // serial/parallel runs share one allocator profile and one code
         // path for the serial phases.
         let workers = self.cfg.sm_workers.max(1).min(num_sms.max(1));
+        let mut lane_vec: Vec<Lane> = self
+            .sms
+            .drain(..)
+            .map(|sm| Lane {
+                sm,
+                policy: factory(),
+                report: TickReport::default(),
+                buf: BufferTracer::new(buf_mask),
+            })
+            .collect();
+        if let Some(fr) = &resume_fr {
+            let meta = meta_loaded.as_ref().expect("META parsed with container");
+            // Restore each SM and its policy; on failure reassemble the SM
+            // array so the GPU survives a rejected resume.
+            if let Err(e) = restore_lanes(fr, meta, &mut lane_vec) {
+                self.sms = lane_vec.into_iter().map(|l| l.sm).collect();
+                return Err(e);
+            }
+        }
         let mut chunks: Vec<Vec<Lane>> = Vec::with_capacity(workers);
         {
-            let mut lanes: VecDeque<Lane> = self
-                .sms
-                .drain(..)
-                .map(|sm| Lane {
-                    sm,
-                    policy: factory(),
-                    report: TickReport::default(),
-                    buf: BufferTracer::new(buf_mask),
-                })
-                .collect();
+            let mut lanes: VecDeque<Lane> = lane_vec.into();
             let per = num_sms.div_ceil(workers).max(1);
             while !lanes.is_empty() {
                 let take = per.min(lanes.len());
@@ -358,7 +556,7 @@ impl Gpu {
         // phase. `GlobalMem::new(0)` allocates nothing.
         let gmem_lock = RwLock::new(std::mem::replace(&mut self.gmem, GlobalMem::new(0)));
 
-        let loop_result: Result<(), SimError> = std::thread::scope(|scope| {
+        let loop_result: Result<Option<GpuSnapshot>, SimError> = std::thread::scope(|scope| {
             // Persistent issue-phase workers (parallel engine only). Each
             // owns a job/result channel pair; lanes round-trip through the
             // channels every cycle, and results are collected in worker
@@ -519,7 +717,41 @@ impl Gpu {
                     // Dropping `links` hangs up the job channels; workers
                     // observe the disconnect and exit before the scope
                     // joins them.
-                    return Ok(());
+                    return Ok(None);
+                }
+
+                // Checkpoint boundary: end of cycle, every lane back on the
+                // main thread, all deferred effects merged — the one point
+                // where the simulator's state is closed under snapshot.
+                let rel_after = self.cycle - start_cycle;
+                let pause = ckpt.pause_at > 0 && rel_after >= ckpt.pause_at;
+                if pause || (ckpt.every > 0 && rel_after.is_multiple_of(ckpt.every)) {
+                    let snap = {
+                        let g = gmem_lock.read().expect("gmem lock");
+                        GpuSnapshot::from_bytes(build_snapshot(
+                            &self.cfg,
+                            kernel,
+                            self.cycle,
+                            start_cycle,
+                            &pending,
+                            outstanding,
+                            rr_next_sm,
+                            &tb_order,
+                            last_order_sample,
+                            &recorder,
+                            &g,
+                            &self.mem,
+                            &chunks,
+                        ))
+                    };
+                    if let Some(path) = &ckpt.path {
+                        snap.write_to(path).map_err(|e| {
+                            SimError::CheckpointIo(format!("{}: {e}", path.display()))
+                        })?;
+                    }
+                    if pause {
+                        return Ok(Some(snap));
+                    }
                 }
             }
         });
@@ -538,7 +770,12 @@ impl Gpu {
                 self.sms.push(lane.sm);
             }
         }
-        loop_result?;
+        if let Some(snap) = loop_result? {
+            // Paused mid-grid: no kernel-end event (the resumed run emits
+            // it), no result — the snapshot is the deliverable. The GPU
+            // itself also holds the paused state and could continue.
+            return Ok(LaunchStatus::Paused(snap));
+        }
 
         let cycles = self.cycle - start_cycle;
         recorder.on_kernel_end(&kernel.program.name, self.cycle, cycles);
@@ -560,8 +797,200 @@ impl Gpu {
             metrics: Default::default(),
         };
         result.snapshot_metrics();
-        Ok(result)
+        Ok(LaunchStatus::Completed(result))
     }
+}
+
+/// The launch identity recorded in snapshot section `SEC_META`: enough to
+/// refuse resuming into the wrong kernel, machine configuration, SM count
+/// or scheduler, plus the cycle coordinates of the checkpoint itself.
+struct Meta {
+    kernel_name: String,
+    instr_count: usize,
+    regs: u8,
+    preds: u8,
+    shared_bytes: u32,
+    grid: (u32, u32, u32),
+    block: (u32, u32, u32),
+    params: Vec<u32>,
+    config: String,
+    num_sms: u32,
+    scheduler: String,
+    cycle: u64,
+    start_cycle: u64,
+}
+
+/// Canonical machine-identity string: the config's `Debug` rendering with
+/// `sm_workers` zeroed out, because worker count is a host-side knob that
+/// never affects simulated state — snapshots migrate freely between the
+/// serial and parallel engines.
+fn config_identity(cfg: &GpuConfig) -> String {
+    let mut c = *cfg;
+    c.sm_workers = 0;
+    format!("{c:?}")
+}
+
+impl Meta {
+    fn of(cfg: &GpuConfig, kernel: &Kernel, scheduler: &str, cycle: u64, start_cycle: u64) -> Meta {
+        Meta {
+            kernel_name: kernel.program.name.clone(),
+            instr_count: kernel.program.instrs.len(),
+            regs: kernel.program.regs,
+            preds: kernel.program.preds,
+            shared_bytes: kernel.program.shared_bytes,
+            grid: (kernel.launch.grid.x, kernel.launch.grid.y, kernel.launch.grid.z),
+            block: (
+                kernel.launch.block.x,
+                kernel.launch.block.y,
+                kernel.launch.block.z,
+            ),
+            params: kernel.params.clone(),
+            config: config_identity(cfg),
+            num_sms: cfg.num_sms,
+            scheduler: scheduler.to_string(),
+            cycle,
+            start_cycle,
+        }
+    }
+
+    fn save(&self, w: &mut Writer) {
+        w.put_str(&self.kernel_name);
+        w.put_usize(self.instr_count);
+        w.put_u8(self.regs);
+        w.put_u8(self.preds);
+        w.put_u32(self.shared_bytes);
+        self.grid.save(w);
+        self.block.save(w);
+        self.params.save(w);
+        w.put_str(&self.config);
+        w.put_u32(self.num_sms);
+        w.put_str(&self.scheduler);
+        w.put_u64(self.cycle);
+        w.put_u64(self.start_cycle);
+    }
+
+    fn load(r: &mut Reader<'_>) -> Result<Meta, CodecError> {
+        Ok(Meta {
+            kernel_name: r.get_string()?,
+            instr_count: r.get_usize()?,
+            regs: r.get_u8()?,
+            preds: r.get_u8()?,
+            shared_bytes: r.get_u32()?,
+            grid: Snapshot::load(r)?,
+            block: Snapshot::load(r)?,
+            params: Snapshot::load(r)?,
+            config: r.get_string()?,
+            num_sms: r.get_u32()?,
+            scheduler: r.get_string()?,
+            cycle: r.get_u64()?,
+            start_cycle: r.get_u64()?,
+        })
+    }
+
+    /// Refuse a resume whose kernel or machine differs from the snapshot's.
+    /// (`scheduler` is checked separately, once a policy instance exists to
+    /// name; `cycle`/`start_cycle` are coordinates, not identity.)
+    fn check_matches(&self, current: &Meta) -> Result<(), CodecError> {
+        if self.kernel_name != current.kernel_name
+            || self.instr_count != current.instr_count
+            || self.regs != current.regs
+            || self.preds != current.preds
+            || self.shared_bytes != current.shared_bytes
+            || self.grid != current.grid
+            || self.block != current.block
+            || self.params != current.params
+        {
+            return Err(CodecError::Mismatch(format!(
+                "snapshot is of kernel {:?}, launch is {:?}",
+                self.kernel_name, current.kernel_name
+            )));
+        }
+        if self.config != current.config || self.num_sms != current.num_sms {
+            return Err(CodecError::Mismatch(format!(
+                "snapshot machine config {:?} != launch config {:?}",
+                self.config, current.config
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Serialize the complete in-flight launch into a snapshot container.
+/// Called at the end-of-cycle checkpoint boundary, when every lane is on
+/// the main thread and all deferred effects are merged.
+#[allow(clippy::too_many_arguments)]
+fn build_snapshot(
+    cfg: &GpuConfig,
+    kernel: &Kernel,
+    cycle: u64,
+    start_cycle: u64,
+    pending: &VecDeque<u32>,
+    outstanding: u32,
+    rr_next_sm: usize,
+    tb_order: &[TbOrderSnapshot],
+    last_order_sample: u64,
+    recorder: &Recorder<'_>,
+    gmem: &GlobalMem,
+    mem: &MemSubsystem,
+    chunks: &[Vec<Lane>],
+) -> Vec<u8> {
+    let scheduler = chunks[0][0].policy.name();
+    let mut f = FileWriter::new();
+
+    let mut w = Writer::new();
+    Meta::of(cfg, kernel, scheduler, cycle, start_cycle).save(&mut w);
+    f.add_section(SEC_META, w);
+
+    let mut w = Writer::new();
+    pending.save(&mut w);
+    w.put_u32(outstanding);
+    w.put_usize(rr_next_sm);
+    w.put_u64(tb_order.len() as u64);
+    for s in tb_order {
+        s.save(&mut w);
+    }
+    w.put_u64(last_order_sample);
+    recorder.save_state(&mut w);
+    f.add_section(SEC_LOOP, w);
+
+    let mut w = Writer::new();
+    gmem.save(&mut w);
+    f.add_section(SEC_GMEM, w);
+
+    let mut w = Writer::new();
+    mem.save_snapshot(&mut w);
+    f.add_section(SEC_MEM, w);
+
+    let mut idx = 0u32;
+    for lanes in chunks {
+        for lane in lanes {
+            let mut w = Writer::new();
+            lane.sm.save_snapshot(&mut w);
+            lane.policy.save_state(&mut w);
+            f.add_section(SEC_SM_BASE + idx, w);
+            idx += 1;
+        }
+    }
+    f.finish()
+}
+
+/// Restore every SM and its freshly built policy from the container's
+/// per-SM sections, after checking the snapshot's scheduler identity.
+fn restore_lanes(fr: &FileReader, meta: &Meta, lanes: &mut [Lane]) -> Result<(), SimError> {
+    let name = lanes[0].policy.name();
+    if meta.scheduler != name {
+        return Err(SimError::Snapshot(CodecError::Mismatch(format!(
+            "snapshot was taken under scheduler {:?}, this launch uses {name:?}",
+            meta.scheduler
+        ))));
+    }
+    for (i, lane) in lanes.iter_mut().enumerate() {
+        let mut r = fr.section(SEC_SM_BASE + i as u32)?;
+        lane.sm.restore_snapshot(&mut r)?;
+        lane.policy.load_state(&mut r)?;
+        r.finish()?;
+    }
+    Ok(())
 }
 
 /// One SM's worth of per-launch state, bundled so it can migrate to an

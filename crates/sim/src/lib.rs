@@ -26,10 +26,12 @@
 //! println!("{} cycles, IPC {:.2}", result.cycles, result.ipc());
 //! ```
 
+pub mod checkpoint;
 pub mod config;
 pub mod gpu;
 pub mod result;
 
+pub use checkpoint::{CheckpointOptions, GpuSnapshot, LaunchStatus};
 pub use config::{load_config, parse_config, ConfigError};
 pub use gpu::{Gpu, GpuConfig, SimError, TraceOptions};
 pub use result::{geomean, RunResult, TbOrderSnapshot, TbSpan};

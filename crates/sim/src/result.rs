@@ -2,7 +2,9 @@
 //! taxonomy, memory statistics, and the traces behind Fig. 2 (TB execution
 //! timeline) and Table IV (PRO's sorted TB order).
 
-use pro_mem::MemStats;
+use pro_core::codec::{CodecError, Reader, Snapshot, Writer};
+use pro_core::SchedulerKind;
+use pro_mem::{load_hist, save_hist, MemStats};
 use pro_sm::SmStats;
 use pro_trace::Metrics;
 
@@ -29,7 +31,7 @@ pub struct TbOrderSnapshot {
 }
 
 /// Everything measured during one kernel launch.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunResult {
     /// Kernel name.
     pub kernel: String,
@@ -153,6 +155,105 @@ impl RunResult {
             100.0 * self.mem.l1.miss_rate(),
             self.mem.avg_load_latency(),
         )
+    }
+}
+
+impl Snapshot for TbSpan {
+    fn save(&self, w: &mut Writer) {
+        w.put_u32(self.sm);
+        w.put_u32(self.global_index);
+        w.put_u64(self.start);
+        w.put_u64(self.end);
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(TbSpan {
+            sm: r.get_u32()?,
+            global_index: r.get_u32()?,
+            start: r.get_u64()?,
+            end: r.get_u64()?,
+        })
+    }
+}
+
+impl Snapshot for TbOrderSnapshot {
+    fn save(&self, w: &mut Writer) {
+        w.put_u64(self.cycle);
+        self.order.save(w);
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(TbOrderSnapshot {
+            cycle: r.get_u64()?,
+            order: Snapshot::load(r)?,
+        })
+    }
+}
+
+impl Snapshot for RunResult {
+    // Results are serialized by sweep drivers so a crashed sweep can skip
+    // already-finished cells on resume. The scheduler name is stored as a
+    // string and re-interned on load: names of known [`SchedulerKind`]s map
+    // back to their `'static` form; unknown (custom-policy) names are
+    // leaked, which is bounded by the number of distinct custom schedulers
+    // a process ever loads.
+    fn save(&self, w: &mut Writer) {
+        self.kernel.save(w);
+        w.put_str(self.scheduler);
+        w.put_u64(self.cycles);
+        self.sm.save(w);
+        self.per_sm.save(w);
+        self.mem.save(w);
+        self.timeline.save(w);
+        self.tb_order.save(w);
+        self.utilization.save(w);
+        let counters = self.metrics.counters();
+        w.put_u64(counters.len() as u64);
+        for (name, v) in counters {
+            w.put_str(name);
+            w.put_u64(*v);
+        }
+        let hists = self.metrics.hists();
+        w.put_u64(hists.len() as u64);
+        for (name, h) in hists {
+            w.put_str(name);
+            save_hist(h, w);
+        }
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let kernel = String::load(r)?;
+        let scheduler_owned = r.get_string()?;
+        let scheduler = SchedulerKind::ALL
+            .iter()
+            .map(|k| k.name())
+            .find(|n| *n == scheduler_owned)
+            .unwrap_or_else(|| Box::leak(scheduler_owned.into_boxed_str()));
+        let cycles = r.get_u64()?;
+        let sm = SmStats::load(r)?;
+        let per_sm = Snapshot::load(r)?;
+        let mem = MemStats::load(r)?;
+        let timeline = Snapshot::load(r)?;
+        let tb_order = Snapshot::load(r)?;
+        let utilization = Snapshot::load(r)?;
+        let mut metrics = Metrics::default();
+        for _ in 0..r.get_usize()? {
+            let name = r.get_string()?;
+            metrics.set_counter(&name, r.get_u64()?);
+        }
+        for _ in 0..r.get_usize()? {
+            let name = r.get_string()?;
+            metrics.set_hist(&name, load_hist(r)?);
+        }
+        Ok(RunResult {
+            kernel,
+            scheduler,
+            cycles,
+            sm,
+            per_sm,
+            mem,
+            timeline,
+            tb_order,
+            utilization,
+            metrics,
+        })
     }
 }
 

@@ -2,6 +2,7 @@
 //! 32-bank conflict model that determines how many cycles a shared-memory
 //! access occupies the load/store unit.
 
+use pro_core::codec::{CodecError, Reader, Snapshot, Writer};
 use pro_isa::WARP_SIZE;
 
 /// Number of shared-memory banks (Fermi: 32, 4-byte wide).
@@ -38,6 +39,17 @@ impl SharedMem {
     pub fn write(&mut self, addr: u32, value: u32) {
         debug_assert!(addr.is_multiple_of(4), "unaligned shared write at {addr:#x}");
         self.words[(addr / 4) as usize] = value;
+    }
+}
+
+impl Snapshot for SharedMem {
+    fn save(&self, w: &mut Writer) {
+        self.words.save(w);
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(SharedMem {
+            words: Snapshot::load(r)?,
+        })
     }
 }
 

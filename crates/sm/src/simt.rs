@@ -9,6 +9,7 @@
 //! PCs come from the ISA (`Instr::Bra::reconv`), computed by the program
 //! builder for structured control flow.
 
+use pro_core::codec::{CodecError, Reader, Snapshot, Writer};
 use pro_isa::Pc;
 
 /// One stack entry: an execution path.
@@ -118,6 +119,34 @@ impl SimtStack {
     /// True once every lane has exited (mask empty and depth 1).
     pub fn converged(&self) -> bool {
         self.entries.len() == 1
+    }
+}
+
+impl Snapshot for SimtEntry {
+    fn save(&self, w: &mut Writer) {
+        w.put_u32(self.pc);
+        w.put_u32(self.mask);
+        w.put_u32(self.reconv);
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(SimtEntry {
+            pc: r.get_u32()?,
+            mask: r.get_u32()?,
+            reconv: r.get_u32()?,
+        })
+    }
+}
+
+impl Snapshot for SimtStack {
+    fn save(&self, w: &mut Writer) {
+        self.entries.save(w);
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let entries: Vec<SimtEntry> = Snapshot::load(r)?;
+        if entries.is_empty() {
+            return Err(CodecError::BadValue("empty SIMT stack"));
+        }
+        Ok(SimtStack { entries })
     }
 }
 

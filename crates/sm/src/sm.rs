@@ -25,6 +25,7 @@
 use crate::warp::{ExecEffect, LatClass, LaunchCtx, Warp};
 use crate::scoreboard::{Scoreboard, WriteSet};
 use crate::shared::SharedMem;
+use pro_core::codec::{CodecError, Reader, Snapshot, Writer};
 use pro_core::{FxHashMap, IssueInfo, SchedView, TbState, WarpScheduler, WarpState};
 use pro_isa::{Instr, Kernel, PipeClass, Program, WARP_SIZE};
 use pro_mem::{AccessId, AccessOutcome, GlobalMem, GmemPort, GmemStage, MemSubsystem, StoreLog};
@@ -1125,6 +1126,210 @@ impl Sm {
                 tbs_waiting_in_tb_scheduler: fast_phase,
             },
         );
+    }
+
+    /// Serialize all live microarchitectural state into `w`.
+    ///
+    /// Must be called at a cycle boundary (after [`Sm::merge_phase`]), where
+    /// the deferred store log and load-intent buffer are empty; the kernel
+    /// binding itself (program, params, launch geometry) is *not* encoded —
+    /// [`Sm::restore_snapshot`] expects [`Sm::begin_kernel`] to have rebound
+    /// the same kernel first, and cross-checks the geometry.
+    pub fn save_snapshot(&self, w: &mut Writer) {
+        debug_assert!(
+            self.load_intents.is_empty() && self.store_log.is_empty(),
+            "snapshot mid-cycle: deferred effects not yet merged"
+        );
+        w.put_u64(self.warps_per_tb as u64);
+        w.put_u32(self.threads_per_tb);
+        self.warps.save(w);
+        self.shared.save(w);
+        self.sched_warps.save(w);
+        self.sched_tbs.save(w);
+        w.put_u32(self.used_threads);
+        w.put_u32(self.used_shared);
+        w.put_u32(self.used_regs);
+        w.put_u32(self.live_tbs);
+        // Writeback events, canonically ordered by (time, seq): the pool
+        // indices are an allocation artifact, so they are re-packed densely
+        // on restore while the (time, seq) keys — which fully determine pop
+        // order — round-trip exactly.
+        let mut wbs: Vec<(u64, u64, usize)> =
+            self.wb_events.iter().map(|&Reverse(e)| e).collect();
+        wbs.sort_unstable();
+        w.put_u64(wbs.len() as u64);
+        for (t, seq, idx) in wbs {
+            w.put_u64(t);
+            w.put_u64(seq);
+            self.wb_pool[idx].save(w);
+        }
+        w.put_u64(self.wb_seq);
+        self.lsu.save(w);
+        w.put_u64(self.sfu_free_at);
+        let mut accesses: Vec<(u64, (usize, WriteSet))> = self
+            .access_map
+            .iter()
+            .map(|(&a, &(warp, ws))| (a, (warp, ws)))
+            .collect();
+        accesses.sort_unstable_by_key(|&(a, _)| a);
+        w.put_u64(accesses.len() as u64);
+        for (a, (warp, ws)) in accesses {
+            w.put_u64(a);
+            w.put_usize(warp);
+            ws.save(w);
+        }
+        w.put_u64(self.next_access);
+        self.first_warp_finish.save(w);
+        self.stats.save(w);
+    }
+
+    /// Restore state written by [`Sm::save_snapshot`].
+    ///
+    /// The SM must already have the same kernel bound via
+    /// [`Sm::begin_kernel`]; geometry mismatches (different kernel or SM
+    /// configuration) are rejected as [`CodecError::BadValue`].
+    pub fn restore_snapshot(&mut self, r: &mut Reader<'_>) -> Result<(), CodecError> {
+        let warps_per_tb = r.get_usize()?;
+        let threads_per_tb = r.get_u32()?;
+        if warps_per_tb != self.warps_per_tb || threads_per_tb != self.threads_per_tb {
+            return Err(CodecError::BadValue("snapshot kernel geometry mismatch"));
+        }
+        let warps: Vec<Warp> = Snapshot::load(r)?;
+        if warps.len() != self.cfg.max_warps {
+            return Err(CodecError::BadValue("snapshot warp slot count"));
+        }
+        let shared: Vec<SharedMem> = Snapshot::load(r)?;
+        if shared.len() != self.cfg.max_tbs {
+            return Err(CodecError::BadValue("snapshot TB slot count"));
+        }
+        self.warps = warps;
+        self.shared = shared;
+        self.sched_warps = Snapshot::load(r)?;
+        self.sched_tbs = Snapshot::load(r)?;
+        if self.sched_warps.len() != self.cfg.max_warps
+            || self.sched_tbs.len() != self.cfg.max_tbs
+        {
+            return Err(CodecError::BadValue("snapshot scheduler view size"));
+        }
+        self.used_threads = r.get_u32()?;
+        self.used_shared = r.get_u32()?;
+        self.used_regs = r.get_u32()?;
+        self.live_tbs = r.get_u32()?;
+        self.wb_events.clear();
+        self.wb_pool.clear();
+        let n_wb = r.get_usize()?;
+        for _ in 0..n_wb {
+            let t = r.get_u64()?;
+            let seq = r.get_u64()?;
+            let rec = WbRec::load(r)?;
+            let idx = self.wb_pool.len();
+            self.wb_pool.push(rec);
+            self.wb_events.push(Reverse((t, seq, idx)));
+        }
+        self.wb_seq = r.get_u64()?;
+        self.lsu = Snapshot::load(r)?;
+        self.sfu_free_at = r.get_u64()?;
+        self.access_map.clear();
+        let n_acc = r.get_usize()?;
+        for _ in 0..n_acc {
+            let a = r.get_u64()?;
+            let warp = r.get_usize()?;
+            let ws = WriteSet::load(r)?;
+            self.access_map.insert(a, (warp, ws));
+        }
+        self.next_access = r.get_u64()?;
+        self.first_warp_finish = Snapshot::load(r)?;
+        if self.first_warp_finish.len() != self.cfg.max_tbs {
+            return Err(CodecError::BadValue("snapshot WLD tracker size"));
+        }
+        self.stats = SmStats::load(r)?;
+        self.load_intents.clear();
+        self.store_log.clear();
+        Ok(())
+    }
+}
+
+impl Snapshot for SmStats {
+    fn save(&self, w: &mut Writer) {
+        w.put_u64(self.issued);
+        w.put_u64(self.idle);
+        w.put_u64(self.scoreboard);
+        w.put_u64(self.pipeline);
+        w.put_u64(self.unit_cycles);
+        w.put_u64(self.instructions);
+        w.put_u64(self.thread_instructions);
+        w.put_u64(self.wld_cycles);
+        w.put_u64(self.tbs_completed);
+        w.put_u64(self.ready_warp_sum);
+        w.put_u64(self.ready_samples);
+        pro_mem::save_hist(&self.ready_hist, w);
+        pro_mem::save_hist(&self.disparity_hist, w);
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(SmStats {
+            issued: r.get_u64()?,
+            idle: r.get_u64()?,
+            scoreboard: r.get_u64()?,
+            pipeline: r.get_u64()?,
+            unit_cycles: r.get_u64()?,
+            instructions: r.get_u64()?,
+            thread_instructions: r.get_u64()?,
+            wld_cycles: r.get_u64()?,
+            tbs_completed: r.get_u64()?,
+            ready_warp_sum: r.get_u64()?,
+            ready_samples: r.get_u64()?,
+            ready_hist: pro_mem::load_hist(r)?,
+            disparity_hist: pro_mem::load_hist(r)?,
+        })
+    }
+}
+
+impl Snapshot for WbRec {
+    fn save(&self, w: &mut Writer) {
+        w.put_usize(self.warp);
+        self.ws.save(w);
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(WbRec {
+            warp: r.get_usize()?,
+            ws: WriteSet::load(r)?,
+        })
+    }
+}
+
+impl Snapshot for LsuEntry {
+    fn save(&self, w: &mut Writer) {
+        match self {
+            LsuEntry::Global { access, lines, next, is_write } => {
+                w.put_u8(0);
+                w.put_u64(*access);
+                lines.save(w);
+                w.put_usize(*next);
+                w.put_bool(*is_write);
+            }
+            LsuEntry::Shared { warp, remaining, wb } => {
+                w.put_u8(1);
+                w.put_usize(*warp);
+                w.put_u32(*remaining);
+                wb.save(w);
+            }
+        }
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        match r.get_u8()? {
+            0 => Ok(LsuEntry::Global {
+                access: r.get_u64()?,
+                lines: Snapshot::load(r)?,
+                next: r.get_usize()?,
+                is_write: r.get_bool()?,
+            }),
+            1 => Ok(LsuEntry::Shared {
+                warp: r.get_usize()?,
+                remaining: r.get_u32()?,
+                wb: WriteSet::load(r)?,
+            }),
+            _ => Err(CodecError::BadValue("LSU entry tag")),
+        }
     }
 }
 

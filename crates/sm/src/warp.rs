@@ -12,6 +12,7 @@
 use crate::scoreboard::Scoreboard;
 use crate::shared::{atomic_cycles, conflict_cycles, SharedMem};
 use crate::simt::SimtStack;
+use pro_core::codec::{CodecError, Reader, Snapshot, Writer};
 use pro_isa::exec::{eval_alu, eval_atom, eval_cmp, eval_sfu};
 use pro_isa::{AluOp, Instr, MemSpace, Pc, Program, Special, Src, WARP_SIZE};
 use pro_mem::{line_of, GmemPort};
@@ -416,6 +417,39 @@ impl Warp {
             }
         };
         (effect, active)
+    }
+}
+
+impl Snapshot for Warp {
+    fn save(&self, w: &mut Writer) {
+        w.put_bool(self.valid);
+        w.put_usize(self.tb_slot);
+        w.put_u32(self.index_in_tb);
+        w.put_u32(self.ctaid);
+        self.simt.save(w);
+        self.scoreboard.save(w);
+        w.put_bool(self.at_barrier);
+        w.put_bool(self.finished);
+        w.put_u64(self.ibuf_ready_at);
+        w.put_u32(self.live_mask);
+        self.regs.save(w);
+        self.preds.save(w);
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(Warp {
+            valid: r.get_bool()?,
+            tb_slot: r.get_usize()?,
+            index_in_tb: r.get_u32()?,
+            ctaid: r.get_u32()?,
+            simt: Snapshot::load(r)?,
+            scoreboard: Snapshot::load(r)?,
+            at_barrier: r.get_bool()?,
+            finished: r.get_bool()?,
+            ibuf_ready_at: r.get_u64()?,
+            live_mask: r.get_u32()?,
+            regs: Snapshot::load(r)?,
+            preds: Snapshot::load(r)?,
+        })
     }
 }
 

@@ -29,6 +29,13 @@ impl Hist16 {
         Hist16 { counts: [0; 16], sum: 0 }
     }
 
+    /// Rebuild a histogram from its raw parts (the counterpart of
+    /// [`Hist16::counts`] and [`Hist16::sum`]); used by the simulator's
+    /// checkpoint codec to round-trip statistics exactly.
+    pub const fn from_raw(counts: [u64; 16], sum: u64) -> Self {
+        Hist16 { counts, sum }
+    }
+
     /// Bucket index for a sample.
     fn bucket(v: u64) -> usize {
         if v == 0 {

@@ -90,4 +90,37 @@ cmp "$tracedir/json_serial.txt" "$tracedir/json_smw4.txt" || {
 }
 echo "ok: --jobs 4 and --sm-workers 4 match the serial engine byte-for-byte"
 
+echo "== checkpoint/resume: recovered sweep is byte-identical =="
+# The snapshot round-trip contract (DESIGN.md §12): a sweep that
+# checkpoints every cell, and a --resume pass that recovers a "crashed"
+# cell (its .done deleted, forcing a re-run through the recovery ladder),
+# must both emit byte-for-byte the straight run's aggregate JSON.
+ckptdir="$tracedir/ckpts"
+target/release/repro json --quick --checkpoint-path "$ckptdir" \
+    --checkpoint-every 2000 > "$tracedir/json_ckpt.txt"
+cmp "$tracedir/json_serial.txt" "$tracedir/json_ckpt.txt" || {
+    echo "ERROR: checkpointed repro json differs from the straight run" >&2
+    exit 1
+}
+done_one=$(ls "$ckptdir"/*.done | head -1)
+rm "$done_one"
+target/release/repro json --quick --resume "$ckptdir" \
+    > "$tracedir/json_resume.txt"
+cmp "$tracedir/json_serial.txt" "$tracedir/json_resume.txt" || {
+    echo "ERROR: resumed repro json differs from the straight run" >&2
+    exit 1
+}
+echo "ok: checkpointed and resumed sweeps match the straight run byte-for-byte"
+
+echo "== docs: checkpoint CLI flags are documented =="
+for flag in checkpoint-path checkpoint-every resume; do
+    for doc in README.md DESIGN.md; do
+        grep -q -- "--$flag" "$doc" || {
+            echo "ERROR: --$flag is not documented in $doc" >&2
+            exit 1
+        }
+    done
+done
+echo "ok: README.md and DESIGN.md document all three checkpoint flags"
+
 echo "== verify: all green =="
