@@ -156,6 +156,21 @@ fn bench_trace_overhead(r: &mut Runner) {
         ring.clear();
         run(&mut ring, TraceOptions::default())
     });
+    // The host profiler's whole budget: two Instant reads per phase per
+    // cycle plus queue-depth sampling. Compare against launch/noop_tracer
+    // (the same run with prof_off) for the overhead ratio.
+    r.bench("launch/prof_off", || {
+        run(&mut pro_trace::NoopTracer, TraceOptions::default())
+    });
+    r.bench("launch/prof_on", || {
+        run(
+            &mut pro_trace::NoopTracer,
+            TraceOptions {
+                host_prof: true,
+                ..Default::default()
+            },
+        )
+    });
 }
 
 /// Wall-clock speedup of the two parallel layers: the inter-run experiment

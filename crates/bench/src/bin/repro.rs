@@ -78,6 +78,9 @@ fn main() {
     // checkpointing into the same directory.
     let ckpt_dir = flag_str(&args, "--checkpoint-path").or_else(|| flag_str(&args, "--resume"));
     let ckpt_every = flag_value(&args, "--checkpoint-every").unwrap_or(0) as u64;
+    // Live telemetry: `--heartbeat N` rewrites status.json at most every N
+    // seconds while the `json` sweep runs (DESIGN.md §13).
+    let heartbeat = flag_value(&args, "--heartbeat").map(|n| n as u64);
     match cmd {
         "config" => config(),
         "workloads" => workloads(scale),
@@ -93,7 +96,8 @@ fn main() {
         "cache" => cache(scale),
         "synthsweep" => synthsweep(),
         "svg" => svg_figs(scale, quick),
-        "json" => json_export(scale, quick, ckpt_dir.as_deref(), ckpt_every),
+        "json" => json_export(scale, quick, ckpt_dir.as_deref(), ckpt_every, heartbeat),
+        "shootout" => shootout(scale, quick),
         "dram" => dram_ablation(scale),
         "disasm" => disasm(args.get(1).map(String::as_str).unwrap_or("")),
         "ready" => ready(scale),
@@ -120,10 +124,10 @@ fn main() {
         }
         _ => {
             eprintln!(
-                "usage: repro <config|workloads|fig1|fig2|fig4|fig5|table3|table4|ablation|sweep|wld|cache|ready|occupancy|synthsweep|svg|json|dram|all> \
+                "usage: repro <config|workloads|fig1|fig2|fig4|fig5|table3|table4|ablation|sweep|wld|cache|ready|occupancy|synthsweep|svg|json|shootout|dram|all> \
                  | disasm <kernel> | trace [kernel] [tl|lrr|gto|pro] | trace-report <file.jsonl> \
                  [--full-scale] [--quick] [--jobs N] [--sm-workers N] \
-                 [--checkpoint-path DIR] [--checkpoint-every N] [--resume DIR]"
+                 [--checkpoint-path DIR] [--checkpoint-every N] [--resume DIR] [--heartbeat SECS]"
             );
             std::process::exit(2);
         }
@@ -497,10 +501,8 @@ fn table4(scale: Scale) {
         scale,
         GpuConfig::gtx480(),
         TraceOptions {
-            timeline: false,
-            tb_order_sm: 0,
             tb_order_period: 1000,
-            utilization_period: 0,
+            ..Default::default()
         },
     );
     println!("{:<8}  TB global indices (highest priority first)", "Cycle");
@@ -795,35 +797,200 @@ fn svg_figs(scale: Scale, quick: bool) {
 /// Dump every (kernel × scheduler) result as JSON on stdout. With a
 /// checkpoint directory, cells persist `.done`/`.ckpt` state there and a
 /// crashed worker is retried from its last snapshot; the aggregate output
-/// is byte-identical either way.
-fn json_export(scale: Scale, quick: bool, ckpt_dir: Option<&str>, every: u64) {
+/// is byte-identical either way. `--heartbeat N` additionally rewrites a
+/// `status.json` (in the checkpoint directory if given, else the cwd) at
+/// most every `N` seconds — the JSON on stdout is unaffected, and the
+/// heartbeat lines go to stderr.
+fn json_export(scale: Scale, quick: bool, ckpt_dir: Option<&str>, every: u64, heartbeat: Option<u64>) {
+    use pro_bench::heartbeat::Heartbeat;
+    use pro_bench::sweep::cell_stem;
     let ws = kernels(scale, quick);
     let jobs: Vec<(pro_workloads::Workload, SchedulerKind)> = ws
         .iter()
         .flat_map(|w| SchedulerKind::PAPER.into_iter().map(move |s| (*w, s)))
         .collect();
-    let cells = match ckpt_dir {
-        None => pro_bench::parallel_map(&jobs, |(w, s)| run_cell(w, *s, scale)),
-        Some(dir) => {
-            let dir = std::path::Path::new(dir);
-            std::fs::create_dir_all(dir).unwrap_or_else(|e| {
-                eprintln!("{}: {e}", dir.display());
-                std::process::exit(2);
-            });
-            pro_bench::parallel_map_recover(&jobs, |(w, s)| {
-                pro_bench::sweep::run_cell_recoverable(
+    // The checkpoint directory must exist before the heartbeat's initial
+    // status write lands in it.
+    let dir = ckpt_dir.map(|d| {
+        let dir = std::path::PathBuf::from(d);
+        std::fs::create_dir_all(&dir).unwrap_or_else(|e| {
+            eprintln!("{}: {e}", dir.display());
+            std::process::exit(2);
+        });
+        dir
+    });
+    let hb: Option<std::sync::Arc<Heartbeat>> = heartbeat.map(|secs| {
+        let status = dir
+            .as_deref()
+            .unwrap_or_else(|| std::path::Path::new("."))
+            .join("status.json");
+        std::sync::Arc::new(Heartbeat::new(status, secs, jobs.len() as u64))
+    });
+    let cells = match &dir {
+        None => pro_bench::parallel_map(&jobs, |(w, s)| {
+            let cell = match &hb {
+                Some(hb) => pro_bench::sweep::run_cell_monitored(
                     w,
                     *s,
                     scale,
                     machine(),
                     TraceOptions::default(),
-                    dir,
-                    every,
-                )
-            })
-        }
+                    Some(hb.progress_fn(cell_stem(w, *s))),
+                ),
+                None => run_cell(w, *s, scale),
+            };
+            if let Some(hb) = &hb {
+                hb.cell_finished();
+            }
+            cell
+        }),
+        Some(dir) => pro_bench::parallel_map_recover(&jobs, |(w, s)| {
+            let progress = hb.as_ref().map(|hb| hb.progress_fn(cell_stem(w, *s)));
+            let cell = pro_bench::sweep::run_cell_recoverable(
+                w,
+                *s,
+                scale,
+                machine(),
+                TraceOptions::default(),
+                dir,
+                every,
+                progress,
+            );
+            if let Some(hb) = &hb {
+                hb.cell_finished();
+            }
+            cell
+        }),
     };
+    if let Some(hb) = &hb {
+        hb.finish();
+    }
     println!("{}", pro_bench::json::export_cells(&cells).to_string());
+}
+
+/// 9-policy shootout: every scheduler in [`SchedulerKind::ALL`] across the
+/// workload matrix, run with the host profiler on
+/// ([`TraceOptions::host_prof`]). Prints one aligned row per policy —
+/// simulated-side stall attribution next to host-side cost (wall clock,
+/// run-loop phase shares, event-queue depth) — and writes the same numbers
+/// to `shootout.json` for tooling.
+fn shootout(scale: Scale, quick: bool) {
+    use pro_bench::json::{num, obj, s, unum, Json};
+    use pro_trace::Metrics;
+    header("Shootout: 9 warp-scheduling policies — stalls vs host cost");
+    let ws = kernels(scale, quick);
+    let trace = TraceOptions {
+        host_prof: true,
+        ..Default::default()
+    };
+    let jobs: Vec<(pro_workloads::Workload, SchedulerKind)> = ws
+        .iter()
+        .flat_map(|w| SchedulerKind::ALL.into_iter().map(move |s| (*w, s)))
+        .collect();
+    let cells = parallel_map(&jobs, |(w, s)| run_cell_with(w, *s, scale, machine(), trace));
+
+    // Per-policy aggregate: simulated counters sum plainly; the host-side
+    // registries fold through `Metrics::merge` (counters add — correct for
+    // nanosecond and event totals — and histograms merge bucket-wise).
+    // High-water marks are max'd by hand since adding them is meaningless.
+    struct Row {
+        sched: SchedulerKind,
+        cycles: u64,
+        instructions: u64,
+        idle: u64,
+        scoreboard: u64,
+        pipeline: u64,
+        evq_hwm: u64,
+        host: Metrics,
+        vs_lrr: Vec<f64>,
+    }
+    let mut rows: Vec<Row> = SchedulerKind::ALL
+        .into_iter()
+        .map(|sched| Row {
+            sched,
+            cycles: 0,
+            instructions: 0,
+            idle: 0,
+            scoreboard: 0,
+            pipeline: 0,
+            evq_hwm: 0,
+            host: Metrics::new(),
+            vs_lrr: Vec::new(),
+        })
+        .collect();
+    let nsched = SchedulerKind::ALL.len();
+    for (wi, _) in ws.iter().enumerate() {
+        let lrr_cycles = cells[wi * nsched].result.cycles;
+        for (si, row) in rows.iter_mut().enumerate() {
+            let c = &cells[wi * nsched + si];
+            debug_assert_eq!(c.sched, row.sched);
+            row.cycles += c.result.cycles;
+            row.instructions += c.result.sm.instructions;
+            row.idle += c.result.sm.idle;
+            row.scoreboard += c.result.sm.scoreboard;
+            row.pipeline += c.result.sm.pipeline;
+            row.evq_hwm = row
+                .evq_hwm
+                .max(c.result.metrics.counter("host/mem.evq.hwm").unwrap_or(0));
+            row.host.merge(&c.result.metrics);
+            row.vs_lrr.push(lrr_cycles as f64 / c.result.cycles as f64);
+        }
+    }
+
+    println!(
+        "{:<8} {:>7} {:>6} | {:>6} {:>6} {:>6} | {:>9} {:>6} {:>6} {:>6} | {:>8} {:>8}",
+        "Policy", "vsLRR", "IPC", "idle%", "sb%", "pipe%", "wall ms", "mem%", "issue%", "merge%",
+        "evq p99", "evq hwm"
+    );
+    let mut json_rows = Vec::new();
+    for row in &rows {
+        let stalls = (row.idle + row.scoreboard + row.pipeline).max(1) as f64;
+        let wall = row.host.counter("host/wall.ns").unwrap_or(0);
+        let phase = |p: &str| row.host.counter(&format!("host/phase.{p}.ns")).unwrap_or(0);
+        let share = |ns: u64| 100.0 * ns as f64 / wall.max(1) as f64;
+        let evq_p99 = row
+            .host
+            .hist("host/mem.evq.depth")
+            .map_or(0, |h| h.quantile_bound(0.99));
+        let vs_lrr = geomean_finite(row.vs_lrr.iter().copied());
+        println!(
+            "{:<8} {:>6.3}x {:>6.2} | {:>5.1}% {:>5.1}% {:>5.1}% | {:>9.1} {:>5.1}% {:>5.1}% {:>5.1}% | {:>8} {:>8}",
+            row.sched.name(),
+            vs_lrr,
+            row.instructions as f64 / row.cycles.max(1) as f64,
+            100.0 * row.idle as f64 / stalls,
+            100.0 * row.scoreboard as f64 / stalls,
+            100.0 * row.pipeline as f64 / stalls,
+            wall as f64 / 1e6,
+            share(phase("mem")),
+            share(phase("issue")),
+            share(phase("merge")),
+            evq_p99,
+            row.evq_hwm,
+        );
+        json_rows.push(obj(vec![
+            ("policy", s(row.sched.name())),
+            ("vs_lrr_geomean", num(vs_lrr)),
+            ("cycles", unum(row.cycles)),
+            ("instructions", unum(row.instructions)),
+            ("idle", unum(row.idle)),
+            ("scoreboard", unum(row.scoreboard)),
+            ("pipeline", unum(row.pipeline)),
+            ("host_wall_ns", unum(wall)),
+            ("host_mem_phase_ns", unum(phase("mem"))),
+            ("host_issue_phase_ns", unum(phase("issue"))),
+            ("host_merge_phase_ns", unum(phase("merge"))),
+            ("evq_depth_p99", unum(evq_p99)),
+            ("evq_depth_hwm", unum(row.evq_hwm)),
+        ]));
+    }
+    let doc = obj(vec![
+        ("kernels", unum(ws.len() as u64)),
+        ("policies", Json::Arr(json_rows)),
+    ]);
+    std::fs::write("shootout.json", format!("{doc}")).expect("write shootout.json");
+    println!("\n(stall shares are of total stall unit-cycles; host %s are of host wall time)");
+    println!("wrote shootout.json");
 }
 
 /// Substrate ablation: Table I names FR-FCFS as the DRAM scheduler. Show
@@ -935,10 +1102,8 @@ fn occupancy(scale: Scale) {
             scale,
             cfg,
             TraceOptions {
-                timeline: false,
-                tb_order_sm: 0,
-                tb_order_period: 0,
                 utilization_period: period,
+                ..Default::default()
             },
         );
         println!(
@@ -1038,6 +1203,13 @@ fn trace_cmd(scale: Scale, args: &[String]) {
             .max((rep.scoreboard as f64 / tot - r.scoreboard_frac()).abs())
             .max((rep.pipeline as f64 / tot - r.pipeline_frac()).abs());
         println!("[cross-check] max |trace - counters| stall-share deviation: {dev:.1e}");
+        // The bus and the counters measure the same machine; any real
+        // disagreement is a tracing bug and must fail the run, not just
+        // print — CI greps rot, exit codes don't.
+        if dev > 1e-6 {
+            eprintln!("error: trace/counter stall shares diverge (deviation {dev:.1e} > 1e-6)");
+            std::process::exit(1);
+        }
     }
 }
 

@@ -28,11 +28,13 @@
 //! | `repro json`       | machine-readable dump of every (kernel × sched) run |
 //! | `repro trace`      | JSONL + Chrome trace_event export of one traced run |
 //! | `repro trace-report` | reduce a JSONL trace back to per-kernel reports |
+//! | `repro shootout`   | 9-policy matrix with stall attribution + host cost |
 //!
 //! The bench targets (`cargo bench`) wrap the same runners on the in-repo
 //! fixed-iteration [`runner`] for wall-clock timing of the simulator
 //! itself — no external benchmarking framework is involved.
 
+pub mod heartbeat;
 pub mod json;
 pub mod runner;
 pub mod svg;

@@ -23,7 +23,8 @@ use std::path::{Path, PathBuf};
 use pro_core::codec::{FileReader, FileWriter, Snapshot, Writer};
 use pro_core::SchedulerKind;
 use pro_sim::{
-    CheckpointOptions, Gpu, GpuConfig, GpuSnapshot, LaunchStatus, RunResult, TraceOptions,
+    CheckpointOptions, Gpu, GpuConfig, GpuSnapshot, LaunchStatus, ProgressFn, RunResult,
+    TraceOptions,
 };
 use pro_workloads::{Scale, Workload};
 
@@ -35,6 +36,12 @@ const SEC_RESULT: u32 = 1;
 /// Checkpoint interval (cycles) used when a sweep enables checkpointing
 /// without an explicit `--checkpoint-every`.
 pub const DEFAULT_CHECKPOINT_EVERY: u64 = 50_000;
+
+/// How often (kernel-relative cycles) a monitored cell reports progress to
+/// its heartbeat hook. Coarse enough to be free (one callback per 10k
+/// simulated cycles), fine enough that `status.json`'s cycle totals lag a
+/// live cell by well under a second.
+pub const HEARTBEAT_PROGRESS_EVERY: u64 = 10_000;
 
 /// File stem identifying one (workload, scheduler) cell inside the
 /// checkpoint directory. App + kernel + scheduler name is unique across
@@ -100,6 +107,7 @@ pub fn run_cell_recoverable(
     trace: TraceOptions,
     dir: &Path,
     every: u64,
+    progress: Option<ProgressFn>,
 ) -> Cell {
     let done = done_path(dir, w, sched);
     if let Some(result) = read_done(&done) {
@@ -120,6 +128,12 @@ pub fn run_cell_recoverable(
         },
         path: Some(ckpt.clone()),
         pause_at: 0,
+        progress_every: if progress.is_some() {
+            HEARTBEAT_PROGRESS_EVERY
+        } else {
+            0
+        },
+        progress,
     };
 
     let mut gpu = Gpu::new(cfg, w.recommended_gmem(scale));
@@ -174,6 +188,46 @@ pub fn run_cell_recoverable(
     }
 }
 
+/// Run one cell with a live progress hook but no checkpoint files: the
+/// `--heartbeat`-without-`--checkpoint-path` path. Results are identical
+/// to [`crate::run_cell_with`] — the hook observes, it never steers.
+pub fn run_cell_monitored(
+    w: &Workload,
+    sched: SchedulerKind,
+    scale: Scale,
+    cfg: GpuConfig,
+    trace: TraceOptions,
+    progress: Option<ProgressFn>,
+) -> Cell {
+    let opts = CheckpointOptions {
+        progress_every: if progress.is_some() {
+            HEARTBEAT_PROGRESS_EVERY
+        } else {
+            0
+        },
+        progress,
+        ..Default::default()
+    };
+    let mut gpu = Gpu::new(cfg, w.recommended_gmem(scale));
+    let built = w.build_scaled(&mut gpu.gmem, scale);
+    let result = gpu
+        .launch_checkpointed(&built.kernel, sched, trace, &opts)
+        .unwrap_or_else(|e| panic!("{}: {e}", w.kernel))
+        .expect_completed();
+    if let Err(e) = (built.verify)(&gpu.gmem) {
+        panic!(
+            "{} under {sched}: functional verification failed: {e}",
+            w.kernel
+        );
+    }
+    Cell {
+        kernel: w.kernel,
+        app: w.app,
+        sched,
+        result,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -211,6 +265,7 @@ mod tests {
             trace,
             &dir,
             1_000,
+            None,
         );
         assert!(done_path(&dir, w, SchedulerKind::Lrr).exists());
         assert!(!ckpt_path(&dir, w, SchedulerKind::Lrr).exists());
@@ -225,6 +280,7 @@ mod tests {
             trace,
             &dir,
             1_000,
+            None,
         );
         assert_eq!(first.result, second.result);
         let _ = fs::remove_dir_all(&dir);
@@ -251,6 +307,7 @@ mod tests {
             trace,
             &dir,
             1_000,
+            None,
         );
         assert!(cell.result.cycles > 0);
         assert!(done_path(&dir, w, SchedulerKind::Pro).exists());

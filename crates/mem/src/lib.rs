@@ -38,7 +38,10 @@ pub use cache::{Cache, CacheConfig, CacheStats};
 pub use coalesce::coalesce_lines;
 pub use dram::{DramChannel, DramConfig, DramPolicy, DramStats};
 pub use gmem::{GlobalMem, GmemPort, GmemStage, StoreLog};
-pub use subsystem::{load_hist, save_hist, AccessId, AccessOutcome, MemConfig, MemStats, MemSubsystem};
+pub use subsystem::{
+    load_hist, save_hist, AccessId, AccessOutcome, MemConfig, MemStats, MemSubsystem, QueueProf,
+    QUEUE_SAMPLE_PERIOD,
+};
 
 /// Bytes per cache line / memory transaction segment (Fermi: 128 B).
 pub const LINE_BYTES: u64 = 128;

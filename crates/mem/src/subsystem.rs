@@ -17,7 +17,7 @@
 use crate::cache::{Cache, CacheConfig, CacheStats, Lookup};
 use crate::dram::{DramChannel, DramConfig, DramStats};
 use pro_core::codec::{CodecError, Reader, Snapshot, Writer};
-use pro_trace::{Event as TraceEvent, EventClass, Hist16, NoopTracer, Tracer};
+use pro_trace::{Event as TraceEvent, EventClass, Hist16, Metrics, NoopTracer, Tracer};
 use std::cmp::Reverse;
 use pro_core::FxHashMap;
 use std::collections::{BinaryHeap, VecDeque};
@@ -229,6 +229,69 @@ struct Slice {
     in_q: VecDeque<Txn>,
 }
 
+/// How often (in cycles) the host-observability gauges sample queue
+/// depths. Exact push/pop counts and the event-queue high-water mark are
+/// maintained continuously; depth *histograms* are decimated to keep the
+/// always-on cost at a compare-and-branch per cycle.
+pub const QUEUE_SAMPLE_PERIOD: u64 = 64;
+
+/// Host-side gauges over the subsystem's internal queues.
+///
+/// This is the baseline data for the ROADMAP's calendar-queue experiment:
+/// how deep does the `BinaryHeap` event queue actually get, and where does
+/// back-pressure pool (L2 input queues, DRAM channel queues, L1 MSHRs)?
+///
+/// Everything here is *derived* observability state: deterministic given
+/// the run, but deliberately excluded from [`MemSubsystem::save_snapshot`]
+/// so the checkpoint byte format is independent of profiling. After a
+/// restore the gauges restart from zero. Published under `host/mem.*`,
+/// which the `RunResult` snapshot encoding strips.
+#[derive(Debug, Clone, Default)]
+pub struct QueueProf {
+    /// Events pushed onto the heap (exact).
+    pub ev_pushed: u64,
+    /// Events popped off the heap (exact).
+    pub ev_popped: u64,
+    /// Event-heap depth high-water mark (exact, updated on every push).
+    pub ev_hwm: u64,
+    /// Event-heap depth, sampled every [`QUEUE_SAMPLE_PERIOD`] cycles.
+    pub ev_depth: Hist16,
+    /// Total L2 input-queue depth across slices (sampled + hwm-at-sample).
+    pub l2q_hwm: u64,
+    /// L2 input-queue depth histogram (sampled).
+    pub l2q_depth: Hist16,
+    /// Total DRAM channel-queue depth across partitions (sampled).
+    pub dramq_hwm: u64,
+    /// DRAM channel-queue depth histogram (sampled).
+    pub dramq_depth: Hist16,
+    /// L1 MSHR entries in use across all SMs (sampled).
+    pub mshr_hwm: u64,
+    /// L1 MSHR occupancy histogram (sampled).
+    pub mshr_depth: Hist16,
+    /// Outstanding (in-flight) load accesses (sampled).
+    pub inflight_hwm: u64,
+    /// In-flight load accesses histogram (sampled).
+    pub inflight_depth: Hist16,
+}
+
+impl QueueProf {
+    /// Publish the gauges into a metrics registry under `host/mem.*`.
+    pub fn publish(&self, m: &mut Metrics) {
+        m.set_counter("host/mem.evq.pushed", self.ev_pushed);
+        m.set_counter("host/mem.evq.popped", self.ev_popped);
+        m.set_counter("host/mem.evq.hwm", self.ev_hwm);
+        m.set_hist("host/mem.evq.depth", self.ev_depth);
+        m.set_counter("host/mem.l2q.hwm", self.l2q_hwm);
+        m.set_hist("host/mem.l2q.depth", self.l2q_depth);
+        m.set_counter("host/mem.dramq.hwm", self.dramq_hwm);
+        m.set_hist("host/mem.dramq.depth", self.dramq_depth);
+        m.set_counter("host/mem.mshr.hwm", self.mshr_hwm);
+        m.set_hist("host/mem.mshr.depth", self.mshr_depth);
+        m.set_counter("host/mem.inflight.hwm", self.inflight_hwm);
+        m.set_hist("host/mem.inflight.depth", self.inflight_depth);
+    }
+}
+
 /// The full memory subsystem for a GPU with `num_sms` SMs.
 pub struct MemSubsystem {
     cfg: MemConfig,
@@ -243,6 +306,8 @@ pub struct MemSubsystem {
     outstanding: FxHashMap<u64, (u32, u64)>,
     completions: Vec<VecDeque<AccessId>>,
     stats_extra: MemStats,
+    // Host-observability gauges; never serialized (see `QueueProf`).
+    qprof: QueueProf,
 }
 
 impl std::fmt::Debug for MemSubsystem {
@@ -280,6 +345,7 @@ impl MemSubsystem {
             outstanding: FxHashMap::default(),
             completions: (0..num_sms).map(|_| VecDeque::new()).collect(),
             stats_extra: MemStats::default(),
+            qprof: QueueProf::default(),
             cfg,
         }
     }
@@ -294,6 +360,8 @@ impl MemSubsystem {
         self.event_pool.push(ev);
         self.seq += 1;
         self.events.push(Reverse((time, self.seq, idx)));
+        self.qprof.ev_pushed += 1;
+        self.qprof.ev_hwm = self.qprof.ev_hwm.max(self.events.len() as u64);
     }
 
     #[inline]
@@ -430,12 +498,16 @@ impl MemSubsystem {
     /// `tracer`.
     pub fn tick_traced(&mut self, now: u64, tracer: &mut dyn Tracer) {
         let trace_mem = tracer.wants(EventClass::Mem);
+        if now % QUEUE_SAMPLE_PERIOD == 0 {
+            self.sample_queues();
+        }
         // 1. Deliver due events.
         while let Some(&Reverse((t, _, idx))) = self.events.peek() {
             if t > now {
                 break;
             }
             self.events.pop();
+            self.qprof.ev_popped += 1;
             match self.event_pool[idx] {
                 Event::ArriveL2(txn) => {
                     let p = self.partition_of(txn.line) as usize;
@@ -569,6 +641,31 @@ impl MemSubsystem {
             && self.outstanding.is_empty()
             && self.slices.iter().all(|s| s.in_q.is_empty())
             && self.drams.iter().all(|d| d.queue_len() == 0)
+    }
+
+    /// Decimated depth sampling for the host-observability gauges; called
+    /// from [`Self::tick_traced`] every [`QUEUE_SAMPLE_PERIOD`] cycles.
+    fn sample_queues(&mut self) {
+        let ev = self.events.len() as u64;
+        let l2q: u64 = self.slices.iter().map(|s| s.in_q.len() as u64).sum();
+        let dramq: u64 = self.drams.iter().map(|d| d.queue_len() as u64).sum();
+        let mshr: u64 = self.l1s.iter().map(|c| c.mshr_pending() as u64).sum();
+        let inflight = self.outstanding.len() as u64;
+        let q = &mut self.qprof;
+        q.ev_depth.observe(ev);
+        q.l2q_depth.observe(l2q);
+        q.l2q_hwm = q.l2q_hwm.max(l2q);
+        q.dramq_depth.observe(dramq);
+        q.dramq_hwm = q.dramq_hwm.max(dramq);
+        q.mshr_depth.observe(mshr);
+        q.mshr_hwm = q.mshr_hwm.max(mshr);
+        q.inflight_depth.observe(inflight);
+        q.inflight_hwm = q.inflight_hwm.max(inflight);
+    }
+
+    /// The host-side queue gauges accumulated so far (see [`QueueProf`]).
+    pub fn queue_prof(&self) -> &QueueProf {
+        &self.qprof
     }
 
     /// Snapshot aggregate statistics.

@@ -17,12 +17,26 @@ use std::path::{Path, PathBuf};
 
 use crate::result::RunResult;
 
+/// A host-side observer invoked from inside the run loop; the sweep
+/// heartbeat hangs off this. `Arc`'d so [`CheckpointOptions`] stays
+/// cloneable across the experiment pool's workers.
+pub type ProgressFn = std::sync::Arc<dyn Fn(ProgressEvent) + Send + Sync>;
+
+/// What a [`ProgressFn`] observer learns at each reporting boundary.
+#[derive(Debug, Clone, Copy)]
+pub struct ProgressEvent {
+    /// Kernel-relative cycles simulated so far in this launch.
+    pub cycles: u64,
+    /// True when this boundary also wrote a periodic checkpoint file.
+    pub checkpointed: bool,
+}
+
 /// Knobs controlling mid-launch checkpointing, passed to
 /// [`crate::Gpu::launch_checkpointed`] and [`crate::Gpu::resume`].
 ///
 /// The default (`every = 0`, `pause_at = 0`) disables both mechanisms, which
 /// makes the checkpointed entry points behave exactly like [`crate::Gpu::launch`].
-#[derive(Debug, Clone, Default)]
+#[derive(Clone, Default)]
 pub struct CheckpointOptions {
     /// Write a checkpoint to [`CheckpointOptions::path`] every `every`
     /// kernel-relative cycles (0 = never). Each write atomically replaces
@@ -37,6 +51,26 @@ pub struct CheckpointOptions {
     /// [`LaunchStatus::Paused`] with an in-memory snapshot instead of a
     /// result. Used by tests and by hosts that want to interleave work.
     pub pause_at: u64,
+    /// Invoke [`CheckpointOptions::progress`] every `progress_every`
+    /// kernel-relative cycles (0 = never). Independent of `every`: a
+    /// heartbeat works without checkpoint files and vice versa.
+    pub progress_every: u64,
+    /// Host-side progress observer (the `--heartbeat` plumbing). Purely
+    /// observational: called between cycles on the main thread, it can see
+    /// only the [`ProgressEvent`], never simulator state.
+    pub progress: Option<ProgressFn>,
+}
+
+impl std::fmt::Debug for CheckpointOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CheckpointOptions")
+            .field("every", &self.every)
+            .field("path", &self.path)
+            .field("pause_at", &self.pause_at)
+            .field("progress_every", &self.progress_every)
+            .field("progress", &self.progress.as_ref().map(|_| "<fn>"))
+            .finish()
+    }
 }
 
 /// Outcome of a checkpointed launch: either the kernel ran to completion,

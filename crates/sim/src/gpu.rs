@@ -15,16 +15,21 @@
 //! ([`GpuConfig::sm_workers`]) with **bit-identical** results — counters,
 //! stall attribution, and trace streams all match the serial engine.
 
-use crate::checkpoint::{CheckpointOptions, GpuSnapshot, LaunchStatus};
+use crate::checkpoint::{CheckpointOptions, GpuSnapshot, LaunchStatus, ProgressEvent};
 use crate::result::{RunResult, TbOrderSnapshot, TbSpan};
 use pro_core::codec::{CodecError, FileReader, FileWriter, Reader, Snapshot, Writer};
 use pro_core::{SchedulerKind, WarpScheduler};
 use pro_isa::Kernel;
 use pro_mem::{GlobalMem, MemConfig, MemSubsystem};
 use pro_sm::{Sm, SmConfig, SmStats, TickReport};
-use pro_trace::{mask_of, BufferTracer, Event as TraceEvent, EventClass, NoopTracer, Tracer};
+use pro_trace::{
+    mask_of, BufferTracer, Event as TraceEvent, EventClass, Hist16, HostPhase, HostProf,
+    NoopTracer, Tracer, WorkerProf,
+};
 use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, RwLock};
+use std::time::Instant;
 
 /// Snapshot container section ids (see `DESIGN.md` §12).
 const SEC_META: u32 = 1;
@@ -93,6 +98,13 @@ pub struct TraceOptions {
     /// Record per-SM issued-instruction counts every `utilization_period`
     /// cycles (0 = off) — drives the occupancy heatmap.
     pub utilization_period: u64,
+    /// Enable the host-side phase profiler (`pro_trace::prof`): wall-clock
+    /// per run-loop phase, worker busy/idle under `--sm-workers`, and the
+    /// memory-subsystem queue gauges, all published into the result's
+    /// metrics registry under `host/*`. Host numbers vary run to run by
+    /// nature, so the `host/` namespace is excluded from `RunResult`'s
+    /// `Snapshot` encoding and from every byte-compare determinism gate.
+    pub host_prof: bool,
 }
 
 /// Internal bus subscriber that rebuilds the classic `RunResult` traces
@@ -451,6 +463,11 @@ impl Gpu {
             ));
         }
         let num_sms = self.cfg.num_sms as usize;
+        // Host profiler: when `trace.host_prof` is off this costs one
+        // branch per phase boundary; its output never reaches simulated
+        // state, so it is invisible to the determinism gates either way.
+        let mut prof = HostProf::new(trace.host_prof);
+        let wall_start = Instant::now();
         // Parse, CRC-check and identity-check the resume container before
         // touching any simulator state, so a bad snapshot leaves the GPU
         // untouched and reusable.
@@ -556,6 +573,14 @@ impl Gpu {
         // phase. `GlobalMem::new(0)` allocates nothing.
         let gmem_lock = RwLock::new(std::mem::replace(&mut self.gmem, GlobalMem::new(0)));
 
+        // Per-worker (busy_ns, idle_ns) drop boxes, filled once per worker
+        // at hang-up; empty on the serial engine so nothing is published.
+        let worker_prof_ns: Vec<(AtomicU64, AtomicU64)> = if chunks.len() > 1 {
+            (0..chunks.len()).map(|_| (AtomicU64::new(0), AtomicU64::new(0))).collect()
+        } else {
+            Vec::new()
+        };
+
         let loop_result: Result<Option<GpuSnapshot>, SimError> = std::thread::scope(|scope| {
             // Persistent issue-phase workers (parallel engine only). Each
             // owns a job/result channel pair; lanes round-trip through the
@@ -568,17 +593,32 @@ impl Gpu {
             }
             let mut links: Vec<WorkerLink> = Vec::new();
             if chunks.len() > 1 {
-                for _ in 0..chunks.len() {
+                let prof_on = trace.host_prof;
+                for wi in 0..chunks.len() {
                     let (job_tx, job_rx) = mpsc::channel::<Job>();
                     let (res_tx, res_rx) = mpsc::channel::<Vec<Lane>>();
                     let gmem_lock = &gmem_lock;
+                    let accum = &worker_prof_ns[wi];
                     scope.spawn(move || {
                         // Blocking recv: std's mpsc spins briefly before
                         // parking, so the per-cycle round-trip stays cheap
                         // when cores are free, and an oversubscribed host
                         // (workers > cores) degrades gracefully instead of
                         // burning the cores the main thread needs.
+                        //
+                        // Busy/idle accounting stays in thread-local u64s
+                        // (two clock reads per cycle when profiled, zero
+                        // otherwise) and lands in the shared atomics once,
+                        // at hang-up.
+                        let mut busy_ns = 0u64;
+                        let mut idle_ns = 0u64;
+                        let mut wait_from = if prof_on { Some(Instant::now()) } else { None };
                         while let Ok((now, fast_phase, mut lanes)) = job_rx.recv() {
+                            let run_from = wait_from.map(|w| {
+                                let t = Instant::now();
+                                idle_ns += t.duration_since(w).as_nanos() as u64;
+                                t
+                            });
                             {
                                 let g = gmem_lock.read().expect("gmem lock");
                                 for lane in &mut lanes {
@@ -595,6 +635,15 @@ impl Gpu {
                             if res_tx.send(lanes).is_err() {
                                 break;
                             }
+                            wait_from = run_from.map(|r| {
+                                let t = Instant::now();
+                                busy_ns += t.duration_since(r).as_nanos() as u64;
+                                t
+                            });
+                        }
+                        if prof_on {
+                            accum.0.fetch_add(busy_ns, Ordering::Relaxed);
+                            accum.1.fetch_add(idle_ns, Ordering::Relaxed);
                         }
                     });
                     links.push(WorkerLink { job: job_tx, res: res_rx });
@@ -613,6 +662,7 @@ impl Gpu {
                     });
                 }
                 let fast_phase = !pending.is_empty();
+                let mut pt = prof.start();
 
                 // Memory phase: the shared subsystem ticks, then each SM
                 // interacts with it serially in SM-index order. Events land
@@ -628,6 +678,7 @@ impl Gpu {
                         lane.sm.mem_phase_traced(now, &mut self.mem, &mut lane.buf);
                     }
                 }
+                prof.lap(HostPhase::Mem, &mut pt);
 
                 // Issue phase: SM-local, fanned out across workers.
                 if links.is_empty() {
@@ -653,6 +704,7 @@ impl Gpu {
                         *lanes = link.res.recv().expect("issue worker alive");
                     }
                 }
+                prof.lap(HostPhase::Issue, &mut pt);
 
                 // Merge phase: serial in SM-index order — replay the cycle's
                 // buffered events, publish deferred loads and stores.
@@ -713,6 +765,7 @@ impl Gpu {
                 }
 
                 self.cycle += 1;
+                prof.lap(HostPhase::Merge, &mut pt);
                 if pending.is_empty() && outstanding == 0 {
                     // Dropping `links` hangs up the job channels; workers
                     // observe the disconnect and exit before the scope
@@ -725,7 +778,9 @@ impl Gpu {
                 // where the simulator's state is closed under snapshot.
                 let rel_after = self.cycle - start_cycle;
                 let pause = ckpt.pause_at > 0 && rel_after >= ckpt.pause_at;
-                if pause || (ckpt.every > 0 && rel_after.is_multiple_of(ckpt.every)) {
+                let boundary = pause || (ckpt.every > 0 && rel_after.is_multiple_of(ckpt.every));
+                if boundary {
+                    let mut st = prof.start();
                     let snap = {
                         let g = gmem_lock.read().expect("gmem lock");
                         GpuSnapshot::from_bytes(build_snapshot(
@@ -749,8 +804,20 @@ impl Gpu {
                             SimError::CheckpointIo(format!("{}: {e}", path.display()))
                         })?;
                     }
+                    prof.lap(HostPhase::SnapshotWrite, &mut st);
                     if pause {
                         return Ok(Some(snap));
+                    }
+                }
+
+                // Heartbeat boundary: purely observational, decoupled from
+                // checkpointing so a sweep is watchable without snapshots.
+                if ckpt.progress_every > 0 && rel_after.is_multiple_of(ckpt.progress_every) {
+                    if let Some(cb) = &ckpt.progress {
+                        cb(ProgressEvent {
+                            cycles: rel_after,
+                            checkpointed: boundary && ckpt.path.is_some(),
+                        });
                     }
                 }
             }
@@ -797,6 +864,27 @@ impl Gpu {
             metrics: Default::default(),
         };
         result.snapshot_metrics();
+        if trace.host_prof {
+            prof.publish(&mut result.metrics);
+            let mut wp = WorkerProf::default();
+            for (busy, idle) in &worker_prof_ns {
+                wp.add(busy.load(Ordering::Relaxed), idle.load(Ordering::Relaxed));
+            }
+            wp.publish(&mut result.metrics);
+            self.mem.queue_prof().publish(&mut result.metrics);
+            let mut lsu_hwm = 0u64;
+            let mut lsu_depth = Hist16::new();
+            for sm in &self.sms {
+                let (hwm, depth) = sm.lsu_prof();
+                lsu_hwm = lsu_hwm.max(hwm);
+                lsu_depth.merge(depth);
+            }
+            result.metrics.set_counter("host/sm.lsuq.hwm", lsu_hwm);
+            result.metrics.set_hist("host/sm.lsuq.depth", lsu_depth);
+            result
+                .metrics
+                .set_counter("host/wall.ns", wall_start.elapsed().as_nanos() as u64);
+        }
         Ok(LaunchStatus::Completed(result))
     }
 }
@@ -1119,10 +1207,8 @@ mod tests {
                 &k,
                 SchedulerKind::Pro,
                 TraceOptions {
-                    timeline: false,
-                    tb_order_sm: 0,
                     tb_order_period: 100,
-                    utilization_period: 0,
+                    ..Default::default()
                 },
             )
             .unwrap();
@@ -1150,10 +1236,8 @@ mod tests {
                 &k,
                 SchedulerKind::Lrr,
                 TraceOptions {
-                    timeline: false,
-                    tb_order_sm: 0,
                     tb_order_period: 10,
-                    utilization_period: 0,
+                    ..Default::default()
                 },
             )
             .unwrap();
@@ -1225,10 +1309,8 @@ mod tests {
                 &k,
                 SchedulerKind::Lrr,
                 TraceOptions {
-                    timeline: false,
-                    tb_order_sm: 0,
-                    tb_order_period: 0,
                     utilization_period: 20,
+                    ..Default::default()
                 },
             )
             .unwrap();

@@ -31,7 +31,7 @@ pub mod config;
 pub mod gpu;
 pub mod result;
 
-pub use checkpoint::{CheckpointOptions, GpuSnapshot, LaunchStatus};
+pub use checkpoint::{CheckpointOptions, GpuSnapshot, LaunchStatus, ProgressEvent, ProgressFn};
 pub use config::{load_config, parse_config, ConfigError};
 pub use gpu::{Gpu, GpuConfig, SimError, TraceOptions};
 pub use result::{geomean, RunResult, TbOrderSnapshot, TbSpan};

@@ -195,6 +195,10 @@ impl Snapshot for RunResult {
     // back to their `'static` form; unknown (custom-policy) names are
     // leaked, which is bounded by the number of distinct custom schedulers
     // a process ever loads.
+    // The `host/` metrics namespace (wall-clock phase timers, queue
+    // gauges) is skipped entirely: host numbers differ run to run, and a
+    // profiled run must serialize to the same bytes as an unprofiled one
+    // so the sweep byte-compare gates stay meaningful with `--host-prof`.
     fn save(&self, w: &mut Writer) {
         self.kernel.save(w);
         w.put_str(self.scheduler);
@@ -205,13 +209,23 @@ impl Snapshot for RunResult {
         self.timeline.save(w);
         self.tb_order.save(w);
         self.utilization.save(w);
-        let counters = self.metrics.counters();
+        let counters: Vec<_> = self
+            .metrics
+            .counters()
+            .iter()
+            .filter(|(name, _)| !name.starts_with("host/"))
+            .collect();
         w.put_u64(counters.len() as u64);
         for (name, v) in counters {
             w.put_str(name);
             w.put_u64(*v);
         }
-        let hists = self.metrics.hists();
+        let hists: Vec<_> = self
+            .metrics
+            .hists()
+            .iter()
+            .filter(|(name, _)| !name.starts_with("host/"))
+            .collect();
         w.put_u64(hists.len() as u64);
         for (name, h) in hists {
             w.put_str(name);

@@ -28,7 +28,10 @@ use crate::shared::SharedMem;
 use pro_core::codec::{CodecError, Reader, Snapshot, Writer};
 use pro_core::{FxHashMap, IssueInfo, SchedView, TbState, WarpScheduler, WarpState};
 use pro_isa::{Instr, Kernel, PipeClass, Program, WARP_SIZE};
-use pro_mem::{AccessId, AccessOutcome, GlobalMem, GmemPort, GmemStage, MemSubsystem, StoreLog};
+use pro_mem::{
+    AccessId, AccessOutcome, GlobalMem, GmemPort, GmemStage, MemSubsystem, StoreLog,
+    QUEUE_SAMPLE_PERIOD,
+};
 use pro_trace::{req_id, Event as TraceEvent, EventClass, Hist16, NoopTracer, StallReason, Tracer};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
@@ -259,6 +262,11 @@ pub struct Sm {
     cand_buf: Vec<usize>,
     lines_buf: Vec<u64>,
     completion_buf: Vec<AccessId>,
+    // Host-observability LSU queue gauge, sampled every
+    // `QUEUE_SAMPLE_PERIOD` cycles; never serialized (outside the
+    // determinism/checkpoint boundary, published as `host/sm.lsuq.*`).
+    lsu_hwm: u64,
+    lsu_depth: Hist16,
 }
 
 impl std::fmt::Debug for Sm {
@@ -304,6 +312,8 @@ impl Sm {
             cand_buf: Vec::with_capacity(cfg.max_warps),
             lines_buf: Vec::with_capacity(32),
             completion_buf: Vec::with_capacity(32),
+            lsu_hwm: 0,
+            lsu_depth: Hist16::new(),
             cfg,
         }
     }
@@ -334,6 +344,8 @@ impl Sm {
         self.load_intents.clear();
         self.store_log.clear();
         self.completion_buf.clear();
+        self.lsu_hwm = 0;
+        self.lsu_depth = Hist16::new();
     }
 
     /// Number of TB slots usable for the bound kernel (bounded by warp
@@ -487,6 +499,13 @@ impl Sm {
             tbs: &self.sched_tbs,
             tbs_waiting_in_tb_scheduler: fast_phase,
         }
+    }
+
+    /// Host-side LSU queue gauge: `(high-water mark, depth histogram)`,
+    /// sampled every [`QUEUE_SAMPLE_PERIOD`] cycles (see `pro_mem`'s
+    /// `QueueProf` for the boundary rules).
+    pub fn lsu_prof(&self) -> (u64, &Hist16) {
+        (self.lsu_hwm, &self.lsu_depth)
     }
 
     fn schedule_wb(&mut self, t: u64, rec: WbRec) {
@@ -661,6 +680,11 @@ impl Sm {
         mem: &mut MemSubsystem,
         tracer: &mut dyn Tracer,
     ) {
+        if now % QUEUE_SAMPLE_PERIOD == 0 {
+            let d = self.lsu.len() as u64;
+            self.lsu_hwm = self.lsu_hwm.max(d);
+            self.lsu_depth.observe(d);
+        }
         // 1. Memory completions.
         //    (buffer first: drain borrows mem mutably)
         self.completion_buf.clear();

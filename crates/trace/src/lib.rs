@@ -16,6 +16,9 @@
 //! * [`metrics`] — `Copy` fixed-bucket histograms ([`Hist16`]) for embedding
 //!   in hot stats structs, and a named end-of-run registry ([`Metrics`])
 //!   snapshotted into `RunResult`.
+//! * [`prof`] — the same discipline pointed inward: a host-side
+//!   wall-clock phase profiler ([`HostProf`]) whose `host/*` output lands
+//!   in the registry but stays outside the determinism boundary.
 //! * [`chrome`] — Chrome `trace_event` JSON export (Perfetto-loadable).
 //! * [`report`] — JSONL → per-kernel stall/latency summaries
 //!   (the `trace-report` subcommand).
@@ -41,6 +44,7 @@ pub mod chrome;
 pub mod event;
 pub mod json;
 pub mod metrics;
+pub mod prof;
 pub mod report;
 pub mod tracer;
 
@@ -48,6 +52,7 @@ pub use chrome::chrome_trace;
 pub use event::{req_id, ClassSet, Event, EventClass, Record, ReqId, StallReason};
 pub use json::Json;
 pub use metrics::{Hist16, Metrics};
+pub use prof::{HostPhase, HostProf, PhaseTimer, WorkerProf};
 pub use report::{aggregate, KernelReport};
 pub use tracer::{
     count_unit_stalls, mask_of, write_event_jsonl, BufferTracer, JsonlTracer, NoopTracer,

@@ -171,6 +171,29 @@ impl Metrics {
     pub fn is_empty(&self) -> bool {
         self.counters.is_empty() && self.hists.is_empty()
     }
+
+    /// Fold another registry into this one: counters add, histograms
+    /// merge, names absent here are inserted (in `other`'s order).
+    ///
+    /// This is how `repro shootout` aggregates per-cell registries into
+    /// one per-policy row — summing `host/*.ns` totals and merging the
+    /// `host/mem.evq.depth`-style histograms across a policy's kernels.
+    pub fn merge(&mut self, other: &Metrics) {
+        for (name, v) in &other.counters {
+            if let Some(e) = self.counters.iter_mut().find(|(n, _)| n == name) {
+                e.1 += v;
+            } else {
+                self.counters.push((name.clone(), *v));
+            }
+        }
+        for (name, h) in &other.hists {
+            if let Some(e) = self.hists.iter_mut().find(|(n, _)| n == name) {
+                e.1.merge(h);
+            } else {
+                self.hists.push((name.clone(), *h));
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -227,6 +250,80 @@ mod tests {
         assert_eq!(m.hist("lat").unwrap().total(), 1);
         assert_eq!(m.counters().len(), 1);
         assert!(!m.is_empty());
+    }
+
+    #[test]
+    fn quantile_bound_empty_hist_is_zero() {
+        let h = Hist16::new();
+        for q in [0.0, 0.5, 1.0] {
+            assert_eq!(h.quantile_bound(q), 0);
+        }
+    }
+
+    #[test]
+    fn quantile_bound_all_in_last_bucket() {
+        let mut h = Hist16::new();
+        for _ in 0..10 {
+            h.observe(1 << 20); // far past the top bound → bucket 15
+        }
+        // Every quantile with a nonzero target lands in the overflow
+        // bucket, whose reported bound saturates at BOUNDS[14] = 16384.
+        assert_eq!(h.quantile_bound(0.01), 16384);
+        assert_eq!(h.quantile_bound(1.0), 16384);
+    }
+
+    #[test]
+    fn quantile_bound_q0_and_q1() {
+        let mut h = Hist16::new();
+        h.observe(3); // bucket 3, bound 4
+        h.observe(100); // bucket 8, bound 128
+        // q=0 has target 0, satisfied before any counts accumulate: the
+        // first bucket's bound (0) is returned by convention.
+        assert_eq!(h.quantile_bound(0.0), 0);
+        // q=1 must cover the largest occupied bucket.
+        assert_eq!(h.quantile_bound(1.0), 128);
+        // A sample of zeros keeps q=1 in bucket 0.
+        let mut z = Hist16::new();
+        z.observe(0);
+        assert_eq!(z.quantile_bound(1.0), 0);
+    }
+
+    #[test]
+    fn metrics_merge_adds_counters_and_merges_hists() {
+        let mut a = Metrics::new();
+        a.set_counter("host/phase.mem.ns", 10);
+        let mut ha = Hist16::new();
+        ha.observe(5);
+        a.set_hist("host/mem.evq.depth", ha);
+
+        let mut b = Metrics::new();
+        b.set_counter("host/phase.mem.ns", 32);
+        b.set_counter("host/phase.issue.ns", 7);
+        let mut hb = Hist16::new();
+        hb.observe(9);
+        b.set_hist("host/mem.evq.depth", hb);
+        b.set_hist("host/phase.issue", hb);
+
+        a.merge(&b);
+        assert_eq!(a.counter("host/phase.mem.ns"), Some(42));
+        assert_eq!(a.counter("host/phase.issue.ns"), Some(7));
+        let d = a.hist("host/mem.evq.depth").unwrap();
+        assert_eq!(d.total(), 2);
+        assert_eq!(d.sum(), 14);
+        assert_eq!(a.hist("host/phase.issue").unwrap().total(), 1);
+    }
+
+    #[test]
+    fn metrics_merge_into_empty_copies() {
+        let mut b = Metrics::new();
+        b.set_counter("x", 3);
+        let mut h = Hist16::new();
+        h.observe(1);
+        b.set_hist("y", h);
+        let mut a = Metrics::new();
+        a.merge(&b);
+        assert_eq!(a.counter("x"), Some(3));
+        assert_eq!(a.hist("y").unwrap().total(), 1);
     }
 
     #[test]

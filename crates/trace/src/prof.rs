@@ -1,0 +1,215 @@
+//! `pro_prof` — host-side wall-clock phase profiler.
+//!
+//! The event bus and metrics registry observe the *simulated* GPU; this
+//! module points the same discipline inward at the *simulator*: where does
+//! host time go each cycle (mem phase vs issue phase vs merge vs snapshot
+//! writes), and how busy are the `--sm-workers` threads?
+//!
+//! Design constraints, mirroring the tracer bus:
+//!
+//! * **Zero dependencies, no feature gates.** Plain `std::time::Instant`
+//!   and fixed arrays; always compiled in, enabled per run by a flag.
+//! * **Allocation-free hot path.** [`HostProf`] owns fixed arrays of
+//!   nanosecond accumulators and [`Hist16`] per-sample histograms; timing
+//!   a phase never touches the heap (pinned by the counting-allocator
+//!   harness in `tests/trace_overhead.rs`).
+//! * **One branch when disabled.** [`HostProf::start`] returns
+//!   `PhaseTimer(None)` and every `lap` is a single `if let` miss.
+//! * **Outside the determinism boundary.** Wall-clock numbers differ run
+//!   to run by nature; everything published here lands in the metrics
+//!   registry under the `host/` prefix, which `RunResult`'s `Snapshot`
+//!   encoding and the byte-compare gates explicitly exclude.
+//!
+//! Published names: `host/phase.<name>.ns` / `.calls` counters plus a
+//! `host/phase.<name>` histogram of per-call nanoseconds, and
+//! `host/worker.busy.ns` / `host/worker.idle.ns` totals across workers.
+
+use std::time::Instant;
+
+use crate::metrics::{Hist16, Metrics};
+
+/// The host-side phases of one simulated cycle (plus checkpoint I/O).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HostPhase {
+    /// Serial memory phase: `MemSubsystem::tick` plus per-SM `mem_phase`.
+    Mem = 0,
+    /// Issue phase: serial in-place, or the fan-out/fan-in round trip to
+    /// the worker threads under `--sm-workers`.
+    Issue = 1,
+    /// Serial merge phase: store-log replay, TB scheduler, sampling.
+    Merge = 2,
+    /// Building and atomically writing a periodic checkpoint file.
+    SnapshotWrite = 3,
+}
+
+/// Number of [`HostPhase`] variants (array sizes below).
+pub const NUM_PHASES: usize = 4;
+
+const PHASE_NAMES: [&str; NUM_PHASES] = ["mem", "issue", "merge", "snapshot_write"];
+
+/// An in-flight phase measurement; `None` when the profiler is disabled.
+///
+/// Obtained from [`HostProf::start`], consumed (and re-armed) by
+/// [`HostProf::lap`].
+#[derive(Debug)]
+pub struct PhaseTimer(Option<Instant>);
+
+impl PhaseTimer {
+    /// A timer that records nothing (the disabled-profiler arm).
+    pub const fn disarmed() -> Self {
+        PhaseTimer(None)
+    }
+}
+
+/// Accumulated host wall-clock per phase: totals, call counts, and a
+/// power-of-two histogram of per-call nanoseconds.
+#[derive(Debug, Clone)]
+pub struct HostProf {
+    enabled: bool,
+    total_ns: [u64; NUM_PHASES],
+    calls: [u64; NUM_PHASES],
+    hists: [Hist16; NUM_PHASES],
+}
+
+impl HostProf {
+    /// A profiler; when `enabled` is false every operation is a no-op
+    /// costing one branch.
+    pub fn new(enabled: bool) -> Self {
+        HostProf {
+            enabled,
+            total_ns: [0; NUM_PHASES],
+            calls: [0; NUM_PHASES],
+            hists: [Hist16::new(); NUM_PHASES],
+        }
+    }
+
+    /// Whether this profiler records anything.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Begin timing; returns a disarmed timer when disabled.
+    #[inline]
+    pub fn start(&self) -> PhaseTimer {
+        if self.enabled { PhaseTimer(Some(Instant::now())) } else { PhaseTimer::disarmed() }
+    }
+
+    /// Attribute the time since the timer was (re)armed to `phase`, and
+    /// re-arm the timer so consecutive phases share one clock read.
+    #[inline]
+    pub fn lap(&mut self, phase: HostPhase, t: &mut PhaseTimer) {
+        if let Some(prev) = t.0 {
+            let now = Instant::now();
+            self.record(phase, now.duration_since(prev).as_nanos() as u64);
+            t.0 = Some(now);
+        }
+    }
+
+    /// Record a pre-measured sample (used by worker threads that keep
+    /// local accumulators and fold in at join time).
+    #[inline]
+    pub fn record(&mut self, phase: HostPhase, ns: u64) {
+        let p = phase as usize;
+        self.total_ns[p] += ns;
+        self.calls[p] += 1;
+        self.hists[p].observe(ns);
+    }
+
+    /// Total nanoseconds attributed to `phase` so far.
+    pub fn total_ns(&self, phase: HostPhase) -> u64 {
+        self.total_ns[phase as usize]
+    }
+
+    /// Publish the accumulated counters and histograms into a metrics
+    /// registry under the `host/phase.*` namespace. No-op when disabled,
+    /// so unprofiled runs carry no `host/*` entries at all.
+    pub fn publish(&self, m: &mut Metrics) {
+        if !self.enabled {
+            return;
+        }
+        for p in 0..NUM_PHASES {
+            if self.calls[p] == 0 {
+                continue;
+            }
+            m.set_counter(&format!("host/phase.{}.ns", PHASE_NAMES[p]), self.total_ns[p]);
+            m.set_counter(&format!("host/phase.{}.calls", PHASE_NAMES[p]), self.calls[p]);
+            m.set_hist(&format!("host/phase.{}", PHASE_NAMES[p]), self.hists[p]);
+        }
+    }
+}
+
+/// Per-worker busy/idle accumulators for the `--sm-workers` threads.
+///
+/// Workers time each job (busy) and each wait on the fan-out channel
+/// (idle) into thread-local `u64`s, then fold them in here at scope join —
+/// no atomics or clock reads are shared across threads mid-run.
+#[derive(Debug, Clone, Default)]
+pub struct WorkerProf {
+    /// Per-worker `(busy_ns, idle_ns)` totals.
+    pub per_worker: Vec<(u64, u64)>,
+}
+
+impl WorkerProf {
+    /// Fold one worker's totals in (called once per worker at join).
+    pub fn add(&mut self, busy_ns: u64, idle_ns: u64) {
+        self.per_worker.push((busy_ns, idle_ns));
+    }
+
+    /// Publish summed busy/idle plus the worker count under `host/worker.*`.
+    pub fn publish(&self, m: &mut Metrics) {
+        if self.per_worker.is_empty() {
+            return;
+        }
+        let busy: u64 = self.per_worker.iter().map(|w| w.0).sum();
+        let idle: u64 = self.per_worker.iter().map(|w| w.1).sum();
+        m.set_counter("host/worker.count", self.per_worker.len() as u64);
+        m.set_counter("host/worker.busy.ns", busy);
+        m.set_counter("host/worker.idle.ns", idle);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_profiler_records_nothing() {
+        let mut p = HostProf::new(false);
+        let mut t = p.start();
+        p.lap(HostPhase::Mem, &mut t);
+        p.record(HostPhase::Issue, 100);
+        // `record` is unconditional by design (workers gate on `enabled`
+        // before accumulating); only the timer path is disarmed.
+        assert_eq!(p.total_ns(HostPhase::Mem), 0);
+        let mut m = Metrics::new();
+        p.publish(&mut m);
+        assert!(m.is_empty(), "disabled profiler must not publish host/* entries");
+    }
+
+    #[test]
+    fn lap_attributes_and_rearms() {
+        let mut p = HostProf::new(true);
+        let mut t = p.start();
+        std::hint::black_box(&mut t);
+        p.lap(HostPhase::Mem, &mut t);
+        p.lap(HostPhase::Issue, &mut t);
+        let mut m = Metrics::new();
+        p.publish(&mut m);
+        assert_eq!(m.counter("host/phase.mem.calls"), Some(1));
+        assert_eq!(m.counter("host/phase.issue.calls"), Some(1));
+        assert_eq!(m.hist("host/phase.mem").unwrap().total(), 1);
+        assert!(m.counter("host/phase.snapshot_write.ns").is_none());
+    }
+
+    #[test]
+    fn worker_prof_sums_across_workers() {
+        let mut w = WorkerProf::default();
+        w.add(100, 10);
+        w.add(200, 20);
+        let mut m = Metrics::new();
+        w.publish(&mut m);
+        assert_eq!(m.counter("host/worker.count"), Some(2));
+        assert_eq!(m.counter("host/worker.busy.ns"), Some(300));
+        assert_eq!(m.counter("host/worker.idle.ns"), Some(30));
+    }
+}

@@ -47,7 +47,11 @@ echo "== trace: golden lifecycle + zero-overhead proofs =="
 # Belt-and-braces: these are part of `cargo test` above, but run them by
 # name so a filtered or partial test invocation can't silently skip the
 # observability gates (event order, cycle deltas, allocation parity).
-cargo test -q -p pro-sim --test trace_golden --test trace_overhead
+cargo test -q -p pro-sim --test trace_golden --test trace_overhead --test host_prof
+# The profiler-specific allocation gate by name: per-cycle profiling work
+# (phase timers, queue sampling) must never touch the heap.
+cargo test -q -p pro-sim --test trace_overhead \
+    host_profiler_hot_path_allocates_nothing_per_cycle
 
 echo "== trace: Chrome export parses and report cross-checks =="
 # `repro trace` writes a JSONL stream + Chrome trace_event JSON into the
@@ -96,12 +100,31 @@ echo "== checkpoint/resume: recovered sweep is byte-identical =="
 # cell (its .done deleted, forcing a re-run through the recovery ladder),
 # must both emit byte-for-byte the straight run's aggregate JSON.
 ckptdir="$tracedir/ckpts"
+# --heartbeat rides along: it reports on stderr + status.json only, so the
+# stdout byte-compare below also proves telemetry never touches results.
 target/release/repro json --quick --checkpoint-path "$ckptdir" \
-    --checkpoint-every 2000 > "$tracedir/json_ckpt.txt"
+    --checkpoint-every 2000 --heartbeat 1 > "$tracedir/json_ckpt.txt"
 cmp "$tracedir/json_serial.txt" "$tracedir/json_ckpt.txt" || {
     echo "ERROR: checkpointed repro json differs from the straight run" >&2
     exit 1
 }
+
+echo "== heartbeat: status.json schema =="
+# The --heartbeat run above must have left a final status file in the
+# checkpoint directory with every schema key present and done:true
+# (DESIGN.md §13).
+for key in cells_done cells_total current cycles cycles_per_sec \
+    elapsed_sec checkpoint_age_sec eta_sec done; do
+    grep -q "\"$key\"" "$ckptdir/status.json" || {
+        echo "ERROR: status.json is missing key \"$key\"" >&2
+        exit 1
+    }
+done
+grep -q '"done":true' "$ckptdir/status.json" || {
+    echo "ERROR: status.json not finalized (done != true)" >&2
+    exit 1
+}
+echo "ok: status.json carries the full schema and is finalized"
 done_one=$(ls "$ckptdir"/*.done | head -1)
 rm "$done_one"
 target/release/repro json --quick --resume "$ckptdir" \
@@ -112,8 +135,25 @@ cmp "$tracedir/json_serial.txt" "$tracedir/json_resume.txt" || {
 }
 echo "ok: checkpointed and resumed sweeps match the straight run byte-for-byte"
 
+echo "== shootout: 9-policy report with host-cost columns =="
+# The profiled policy matrix: one row per scheduler in SchedulerKind::ALL,
+# each with stall attribution and host/* cost columns, plus a JSON export.
+(cd "$tracedir" && "$OLDPWD/target/release/repro" shootout --quick) \
+    > "$tracedir/shootout.txt"
+for policy in LRR GTO TL OWL PRO PRO-NB PRO-NF PRO-NS PRO-AD; do
+    grep -q "^$policy " "$tracedir/shootout.txt" || {
+        echo "ERROR: shootout table is missing policy $policy" >&2
+        exit 1
+    }
+done
+grep -q '"policies":\[' "$tracedir/shootout.json" || {
+    echo "ERROR: shootout.json missing the policies array" >&2
+    exit 1
+}
+echo "ok: shootout covers all 9 policies in text and JSON"
+
 echo "== docs: checkpoint CLI flags are documented =="
-for flag in checkpoint-path checkpoint-every resume; do
+for flag in checkpoint-path checkpoint-every resume heartbeat; do
     for doc in README.md DESIGN.md; do
         grep -q -- "--$flag" "$doc" || {
             echo "ERROR: --$flag is not documented in $doc" >&2

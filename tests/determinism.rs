@@ -22,9 +22,8 @@ fn run_twice(kernel_name: &str, sched: SchedulerKind) -> (pro_sim::RunResult, pr
                 sched,
                 TraceOptions {
                     timeline: true,
-                    tb_order_sm: 0,
                     tb_order_period: 500,
-                    utilization_period: 0,
+                    ..Default::default()
                 },
             )
             .unwrap();
@@ -139,9 +138,9 @@ fn run_with_workers(
             sched,
             TraceOptions {
                 timeline: true,
-                tb_order_sm: 0,
                 tb_order_period: 500,
                 utilization_period: 100,
+                ..Default::default()
             },
             &mut jsonl,
         )

@@ -86,10 +86,8 @@ fn tb_order_trace_contains_each_live_tb_once() {
             &built.kernel,
             SchedulerKind::Pro,
             TraceOptions {
-                timeline: false,
-                tb_order_sm: 0,
                 tb_order_period: 500,
-                utilization_period: 0,
+                ..Default::default()
             },
         )
         .unwrap();
@@ -121,9 +119,8 @@ fn slow_phase_reverses_priorities_at_the_tail() {
             SchedulerKind::Pro,
             TraceOptions {
                 timeline: true,
-                tb_order_sm: 0,
                 tb_order_period: 200,
-                utilization_period: 0,
+                ..Default::default()
             },
         )
         .unwrap();

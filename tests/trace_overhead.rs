@@ -125,3 +125,44 @@ fn tracing_adds_zero_allocations() {
         "ring-traced launch allocated beyond the preallocated buffer"
     );
 }
+
+/// One full launch with the host profiler toggled.
+fn run_prof(tbs: u32, host_prof: bool) -> RunResult {
+    let mut gpu = Gpu::new(GpuConfig::small(2), 1 << 20);
+    let k = kernel(&mut gpu, tbs);
+    gpu.launch(
+        &k,
+        SchedulerKind::Pro,
+        TraceOptions {
+            host_prof,
+            ..Default::default()
+        },
+    )
+    .expect("completes")
+}
+
+#[test]
+fn host_profiler_hot_path_allocates_nothing_per_cycle() {
+    // The profiler's only allocations are the end-of-run publish step
+    // (metric-name strings, registry growth) — a constant. Per-cycle work
+    // (Instant reads, Hist16 observes, queue-depth sampling) must stay off
+    // the heap, so the profiled-minus-unprofiled allocation delta cannot
+    // depend on how long the kernel runs.
+    let _ = run_prof(2, false);
+    let _ = run_prof(2, true);
+
+    let (short_off, _) = allocs_during(|| run_prof(2, false));
+    let (short_on, r_short) = allocs_during(|| run_prof(2, true));
+    let (long_off, r_off) = allocs_during(|| run_prof(24, false));
+    let (long_on, r_on) = allocs_during(|| run_prof(24, true));
+    assert!(
+        r_on.cycles > r_short.cycles,
+        "long kernel must simulate more cycles than the short one"
+    );
+    assert_eq!(fingerprint(&r_off), fingerprint(&r_on), "observer effect");
+    assert_eq!(
+        short_on - short_off,
+        long_on - long_off,
+        "profiler allocations grew with cycle count — something allocates on the hot path"
+    );
+}
