@@ -243,11 +243,91 @@ fn bench_parallel_speedup(r: &mut Runner) {
     speedup_line("launch_sm_workers_4_over_1", s1, s4);
 }
 
+/// Checkpointing cost: the same launch writing full snapshots every
+/// interval versus a delta chain (dirty gmem pages + bdelta'd sections).
+/// The rows time the whole launch including serialization and disk writes;
+/// a BYTES line reports how much each flavor leaves on disk, which is the
+/// ratio EXPERIMENTS.md tracks at default workload scale.
+fn bench_checkpoint(r: &mut Runner) {
+    use pro_sim::isa::{Kernel, LaunchConfig, ProgramBuilder};
+    use pro_sim::{CheckpointOptions, Gpu, GpuConfig, TraceOptions};
+
+    fn kernel(base: u64) -> Kernel {
+        let mut b = ProgramBuilder::new("checkpoint_bench");
+        let (g, a, v) = (b.reg(), b.reg(), b.reg());
+        b.global_tid(g);
+        b.buf_addr(a, 0, g, 0);
+        b.ld_global(v, a, 0);
+        b.imul(v, v, pro_sim::isa::Src::Reg(v));
+        b.bar();
+        b.st_global(v, a, 0);
+        b.exit();
+        Kernel::new(
+            b.build().expect("valid kernel"),
+            LaunchConfig::linear(16, 128),
+            vec![base as u32],
+        )
+    }
+
+    let run_ckpt = |delta: bool, dir: &std::path::Path| -> u64 {
+        let _ = std::fs::remove_dir_all(dir);
+        std::fs::create_dir_all(dir).expect("bench checkpoint dir");
+        let mut gpu = Gpu::new(GpuConfig::small(4), 4 << 20);
+        let base = gpu.gmem.alloc(16 * 128 * 4);
+        let path = if delta {
+            dir.to_path_buf()
+        } else {
+            dir.join("full.ckpt")
+        };
+        let status = gpu
+            .launch_checkpointed(
+                &kernel(base),
+                SchedulerKind::Pro,
+                TraceOptions::default(),
+                &CheckpointOptions {
+                    every: 100,
+                    path: Some(path),
+                    delta,
+                    ..Default::default()
+                },
+            )
+            .expect("checkpointed launch completes");
+        match status {
+            pro_sim::LaunchStatus::Completed(res) => res.cycles,
+            pro_sim::LaunchStatus::Paused(_) => unreachable!("no pause requested"),
+        }
+    };
+
+    let dir = std::env::temp_dir().join(format!("pro_bench_ckpt_{}", std::process::id()));
+    r.bench("checkpoint_full", || black_box(run_ckpt(false, &dir)));
+    // The full flavor rewrites one file per boundary; its size IS the cost
+    // of every capture. The chain accumulates base + one delta per
+    // boundary, so the per-capture cost is the average delta.
+    let full_bytes = std::fs::metadata(dir.join("full.ckpt")).map(|m| m.len()).unwrap_or(0);
+    r.bench("checkpoint_delta", || black_box(run_ckpt(true, &dir)));
+    let base_bytes = std::fs::metadata(dir.join("base.ckpt")).map(|m| m.len()).unwrap_or(0);
+    let (delta_bytes, n_deltas) = std::fs::read_dir(&dir)
+        .map(|it| {
+            it.flatten()
+                .filter(|e| e.file_name().to_string_lossy().starts_with("delta-"))
+                .filter_map(|e| e.metadata().ok())
+                .fold((0u64, 0u64), |(b, n), m| (b + m.len(), n + 1))
+        })
+        .unwrap_or((0, 0));
+    println!(
+        "BYTES per capture: checkpoint_full {full_bytes} B (rewritten in place), \
+         checkpoint_delta base {base_bytes} B + {n_deltas} deltas avg {} B",
+        delta_bytes.checked_div(n_deltas).unwrap_or(0),
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 fn main() {
     let mut r = Runner::from_args("components");
     bench_cache(&mut r);
     bench_policy_order(&mut r);
     bench_trace_overhead(&mut r);
     bench_parallel_speedup(&mut r);
+    bench_checkpoint(&mut r);
     r.finish();
 }

@@ -24,9 +24,20 @@
 //!   finishes (format: DESIGN.md §12).
 //! * `--checkpoint-every N` sets the snapshot interval in cycles
 //!   (default 50000).
+//! * `--checkpoint-delta` switches each cell to a delta chain — a
+//!   `.chain/` directory holding one full `base.ckpt` plus numbered
+//!   deltas that carry only the gmem pages written since the previous
+//!   capture. Far cheaper per interval; restore replays base-then-deltas
+//!   and is still bit-identical.
+//! * `--checkpoint-keep N` caps a chain at `N` files: when the cap is
+//!   reached the next capture rewrites a fresh full base and prunes the
+//!   old deltas (only after the new base is fsynced and renamed).
 //! * `--resume DIR` re-runs the sweep against an existing `DIR`: finished
-//!   cells load their `.done`, interrupted cells resume from `.ckpt`, and
-//!   the aggregate JSON is byte-identical to an uninterrupted run.
+//!   cells load their `.done`, interrupted cells resume from `.ckpt` or
+//!   the longest valid prefix of their chain, and the aggregate JSON is
+//!   byte-identical to an uninterrupted run. State recorded for a
+//!   different kernel/config/scheduler aborts with a clear error rather
+//!   than being silently discarded.
 
 use pro_bench::{geomean_finite, parallel_map, ratio, run_cell_with, speedup, AppTotals, Cell};
 use pro_core::SchedulerKind;
@@ -78,6 +89,8 @@ fn main() {
     // checkpointing into the same directory.
     let ckpt_dir = flag_str(&args, "--checkpoint-path").or_else(|| flag_str(&args, "--resume"));
     let ckpt_every = flag_value(&args, "--checkpoint-every").unwrap_or(0) as u64;
+    let ckpt_delta = args.iter().any(|a| a == "--checkpoint-delta");
+    let ckpt_keep = flag_value(&args, "--checkpoint-keep").unwrap_or(0);
     // Live telemetry: `--heartbeat N` rewrites status.json at most every N
     // seconds while the `json` sweep runs (DESIGN.md §13).
     let heartbeat = flag_value(&args, "--heartbeat").map(|n| n as u64);
@@ -96,7 +109,15 @@ fn main() {
         "cache" => cache(scale),
         "synthsweep" => synthsweep(),
         "svg" => svg_figs(scale, quick),
-        "json" => json_export(scale, quick, ckpt_dir.as_deref(), ckpt_every, heartbeat),
+        "json" => json_export(
+            scale,
+            quick,
+            ckpt_dir.as_deref(),
+            ckpt_every,
+            ckpt_delta,
+            ckpt_keep,
+            heartbeat,
+        ),
         "shootout" => shootout(scale, quick),
         "dram" => dram_ablation(scale),
         "disasm" => disasm(args.get(1).map(String::as_str).unwrap_or("")),
@@ -127,7 +148,8 @@ fn main() {
                 "usage: repro <config|workloads|fig1|fig2|fig4|fig5|table3|table4|ablation|sweep|wld|cache|ready|occupancy|synthsweep|svg|json|shootout|dram|all> \
                  | disasm <kernel> | trace [kernel] [tl|lrr|gto|pro] | trace-report <file.jsonl> \
                  [--full-scale] [--quick] [--jobs N] [--sm-workers N] \
-                 [--checkpoint-path DIR] [--checkpoint-every N] [--resume DIR] [--heartbeat SECS]"
+                 [--checkpoint-path DIR] [--checkpoint-every N] [--checkpoint-delta] \
+                 [--checkpoint-keep N] [--resume DIR] [--heartbeat SECS]"
             );
             std::process::exit(2);
         }
@@ -801,7 +823,16 @@ fn svg_figs(scale: Scale, quick: bool) {
 /// `status.json` (in the checkpoint directory if given, else the cwd) at
 /// most every `N` seconds — the JSON on stdout is unaffected, and the
 /// heartbeat lines go to stderr.
-fn json_export(scale: Scale, quick: bool, ckpt_dir: Option<&str>, every: u64, heartbeat: Option<u64>) {
+#[allow(clippy::too_many_arguments)]
+fn json_export(
+    scale: Scale,
+    quick: bool,
+    ckpt_dir: Option<&str>,
+    every: u64,
+    delta: bool,
+    keep: usize,
+    heartbeat: Option<u64>,
+) {
     use pro_bench::heartbeat::Heartbeat;
     use pro_bench::sweep::cell_stem;
     let ws = kernels(scale, quick);
@@ -854,6 +885,8 @@ fn json_export(scale: Scale, quick: bool, ckpt_dir: Option<&str>, every: u64, he
                 TraceOptions::default(),
                 dir,
                 every,
+                delta,
+                keep,
                 progress,
             );
             if let Some(hb) = &hb {

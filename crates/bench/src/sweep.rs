@@ -20,11 +20,11 @@ use std::fs::{self, File};
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
 
-use pro_core::codec::{FileReader, FileWriter, Snapshot, Writer};
+use pro_core::codec::{CodecError, FileReader, FileWriter, Snapshot, Writer};
 use pro_core::SchedulerKind;
 use pro_sim::{
-    CheckpointOptions, Gpu, GpuConfig, GpuSnapshot, LaunchStatus, ProgressFn, RunResult,
-    TraceOptions,
+    snapshot_matches, CheckpointOptions, Gpu, GpuConfig, GpuSnapshot, LaunchStatus, ProgressFn,
+    RunResult, SnapshotChain, TraceOptions,
 };
 use pro_workloads::{Scale, Workload};
 
@@ -60,6 +60,11 @@ pub fn ckpt_path(dir: &Path, w: &Workload, sched: SchedulerKind) -> PathBuf {
     dir.join(format!("{}.ckpt", cell_stem(w, sched)))
 }
 
+/// Directory holding the cell's delta-checkpoint chain (`--checkpoint-delta`).
+pub fn chain_dir(dir: &Path, w: &Workload, sched: SchedulerKind) -> PathBuf {
+    dir.join(format!("{}.chain", cell_stem(w, sched)))
+}
+
 /// Serialize a finished [`RunResult`] to `path` atomically, in the
 /// versioned container format.
 fn write_done(path: &Path, result: &RunResult) -> std::io::Result<()> {
@@ -87,18 +92,43 @@ fn read_done(path: &Path) -> Option<RunResult> {
     Some(result)
 }
 
+/// Abort the sweep when on-disk state demonstrably belongs to a different
+/// experiment: restoring it would silently produce wrong results, and
+/// discarding it would silently throw away hours of someone else's run.
+/// Any *other* failure (torn file, truncated chain tail) stays a silent
+/// restart — corruption is recoverable, a wrong identity is operator error.
+fn identity_gate(what: &Path, err: &CodecError) {
+    if let CodecError::Mismatch(why) = err {
+        panic!(
+            "{}: checkpoint identity mismatch — {why}. \
+             The checkpoint directory holds state from a different \
+             kernel/config/scheduler; point --resume at the directory the \
+             original sweep used, or remove it to start over.",
+            what.display()
+        );
+    }
+}
+
 /// Run one (workload, scheduler) cell with crash recovery.
 ///
 /// Recovery ladder, cheapest first:
 ///
 /// 1. a valid `.done` file short-circuits the simulation entirely;
-/// 2. a valid `.ckpt` resumes the simulation from its last checkpoint;
+/// 2. a valid mid-run snapshot resumes the simulation — a single `.ckpt`
+///    file, or with `delta` the longest valid prefix of the cell's
+///    `.chain/` directory (truncated or corrupt tail deltas are discarded,
+///    not fatal);
 /// 3. otherwise the cell runs from cycle 0, checkpointing every `every`
 ///    cycles (0 selects [`DEFAULT_CHECKPOINT_EVERY`]).
+///
+/// A snapshot whose recorded identity (kernel, machine config, scheduler)
+/// contradicts this cell is *not* silently discarded: that is foreign
+/// state, and the sweep fails loudly instead of clobbering it.
 ///
 /// Because snapshots are deterministic and bit-exact, a recovered cell's
 /// [`RunResult`] is identical to an uninterrupted run's, so the sweep's
 /// aggregate output does not depend on whether a crash happened.
+#[allow(clippy::too_many_arguments)]
 pub fn run_cell_recoverable(
     w: &Workload,
     sched: SchedulerKind,
@@ -107,6 +137,8 @@ pub fn run_cell_recoverable(
     trace: TraceOptions,
     dir: &Path,
     every: u64,
+    delta: bool,
+    keep: usize,
     progress: Option<ProgressFn>,
 ) -> Cell {
     let done = done_path(dir, w, sched);
@@ -120,13 +152,16 @@ pub fn run_cell_recoverable(
     }
 
     let ckpt = ckpt_path(dir, w, sched);
+    let chain_d = chain_dir(dir, w, sched);
     let opts = CheckpointOptions {
         every: if every == 0 {
             DEFAULT_CHECKPOINT_EVERY
         } else {
             every
         },
-        path: Some(ckpt.clone()),
+        path: Some(if delta { chain_d.clone() } else { ckpt.clone() }),
+        delta,
+        keep,
         pause_at: 0,
         progress_every: if progress.is_some() {
             HEARTBEAT_PROGRESS_EVERY
@@ -139,21 +174,53 @@ pub fn run_cell_recoverable(
     let mut gpu = Gpu::new(cfg, w.recommended_gmem(scale));
     let built = w.build_scaled(&mut gpu.gmem, scale);
 
-    // Try to resume from a mid-run snapshot; on any failure (torn file,
-    // config drift since the checkpoint was taken) fall back to a fresh
-    // run — correctness never depends on the checkpoint being usable.
+    // Try to resume from a mid-run snapshot; on corruption (torn file,
+    // broken chain) fall back to a fresh run — correctness never depends
+    // on the checkpoint being usable. Identity mismatches abort instead
+    // (see `identity_gate`).
     let mut status = None;
-    if ckpt.exists() {
-        match GpuSnapshot::read_from(&ckpt)
-            .map_err(|e| e.to_string())
-            .and_then(|snap| {
-                gpu.resume(&snap, &built.kernel, sched, trace, &opts)
-                    .map_err(|e| e.to_string())
-            }) {
-            Ok(s) => status = Some(s),
+    if delta {
+        if let Some(chain) = SnapshotChain::load_dir(&chain_d) {
+            if let Err(e) = snapshot_matches(chain.newest(), &cfg, &built.kernel, sched.name()) {
+                identity_gate(&chain_d, &e);
+            }
+            match gpu.resume_chain(&chain, &built.kernel, sched, trace, &opts) {
+                Ok(s) => status = Some(s),
+                Err(e) => {
+                    if let pro_sim::SimError::Snapshot(ce) = &e {
+                        identity_gate(&chain_d, ce);
+                    }
+                    eprintln!(
+                        "warning: {}: stale checkpoint chain ({e}); restarting cell",
+                        chain_d.display()
+                    );
+                    let _ = fs::remove_dir_all(&chain_d);
+                }
+            }
+        }
+    } else if ckpt.exists() {
+        match GpuSnapshot::read_from(&ckpt) {
+            Ok(snap) => {
+                if let Err(e) = snapshot_matches(&snap, &cfg, &built.kernel, sched.name()) {
+                    identity_gate(&ckpt, &e);
+                }
+                match gpu.resume(&snap, &built.kernel, sched, trace, &opts) {
+                    Ok(s) => status = Some(s),
+                    Err(e) => {
+                        if let pro_sim::SimError::Snapshot(ce) = &e {
+                            identity_gate(&ckpt, ce);
+                        }
+                        eprintln!(
+                            "warning: {}: stale checkpoint ({e}); restarting cell",
+                            ckpt.display()
+                        );
+                        let _ = fs::remove_file(&ckpt);
+                    }
+                }
+            }
             Err(e) => {
                 eprintln!(
-                    "warning: {}: stale checkpoint ({e}); restarting cell",
+                    "warning: {}: unreadable checkpoint ({e}); restarting cell",
                     ckpt.display()
                 );
                 let _ = fs::remove_file(&ckpt);
@@ -180,6 +247,7 @@ pub fn run_cell_recoverable(
     write_done(&done, &result)
         .unwrap_or_else(|e| panic!("writing {}: {e}", done.display()));
     let _ = fs::remove_file(&ckpt);
+    let _ = fs::remove_dir_all(&chain_d);
     Cell {
         kernel: w.kernel,
         app: w.app,
@@ -265,6 +333,8 @@ mod tests {
             trace,
             &dir,
             1_000,
+            false,
+            0,
             None,
         );
         assert!(done_path(&dir, w, SchedulerKind::Lrr).exists());
@@ -280,6 +350,8 @@ mod tests {
             trace,
             &dir,
             1_000,
+            false,
+            0,
             None,
         );
         assert_eq!(first.result, second.result);
@@ -307,6 +379,8 @@ mod tests {
             trace,
             &dir,
             1_000,
+            false,
+            0,
             None,
         );
         assert!(cell.result.cycles > 0);

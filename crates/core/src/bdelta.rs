@@ -1,0 +1,385 @@
+//! Shift-tolerant binary delta between two byte images.
+//!
+//! The snapshot pipeline serializes the memory hierarchy and each SM as one
+//! section per capture. Most bytes are identical from one capture to the
+//! next, but variable-length parts (SIMT stacks, MSHR maps, writeback
+//! queues) shift everything behind them, so fixed-offset block diffing
+//! misses most of the redundancy. This module implements a small
+//! rsync-style encoder instead: the previous capture's payload is indexed
+//! by 16-byte windows at every offset, and the new payload is scanned
+//! greedily for matches, emitting *copy* operations against the old image
+//! and *literal* runs for genuinely new bytes.
+//!
+//! # Wire format
+//!
+//! ```text
+//! varint  new_len                    — length of the reconstructed image
+//! ops until end of delta:
+//!   0x00  literal: varint len, then len raw bytes
+//!   0x01  copy:    varint zigzag(src − expected), varint len
+//! ```
+//!
+//! `expected` starts at 0 and after every copy becomes `src + len`: copies
+//! from sequentially advancing positions — the common case, since both
+//! images describe the same structures in the same order — encode their
+//! offset in a single byte. All integers are LEB128 varints.
+//!
+//! Encoding is deterministic: the candidate index is keyed by a fixed
+//! multiply-xor hash and every match is verified byte-for-byte, so the
+//! emitted delta depends only on `(old, new)`. [`apply`] bounds-checks
+//! every operation and verifies the declared output length, returning
+//! [`CodecError`] on any malformed input — a corrupted delta can fail the
+//! restore, never scribble past a buffer.
+
+use crate::codec::CodecError;
+
+/// Window width the old image is indexed by. Matches shorter than this are
+/// invisible to the encoder.
+const WIN: usize = 16;
+/// Minimum verified match length worth a copy op (a copy costs ≥ 3 bytes).
+const MIN_MATCH: usize = 16;
+/// Hash-chain walk depth: at most this many candidate positions are tried
+/// per window hash. Highly repetitive regions (zero runs) would otherwise
+/// make the scan quadratic for no size benefit — any surviving candidate
+/// covers them.
+const MAX_CANDIDATES: usize = 8;
+
+const OP_LITERAL: u8 = 0x00;
+const OP_COPY: u8 = 0x01;
+
+fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    while v >= 0x80 {
+        out.push((v as u8) | 0x80);
+        v >>= 7;
+    }
+    out.push(v as u8);
+}
+
+fn get_varint(buf: &[u8], pos: &mut usize) -> Result<u64, CodecError> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let &b = buf.get(*pos).ok_or(CodecError::Truncated)?;
+        *pos += 1;
+        if shift == 63 && b > 1 {
+            return Err(CodecError::BadValue("varint overflows u64"));
+        }
+        v |= u64::from(b & 0x7F) << shift;
+        if b & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+        if shift > 63 {
+            return Err(CodecError::BadValue("varint overflows u64"));
+        }
+    }
+}
+
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Hash of one 16-byte window. Multiply-xor over the two halves: fixed
+/// constants, no per-process state, so encoder output is reproducible.
+#[inline]
+fn win_hash(w: &[u8]) -> u64 {
+    let a = u64::from_le_bytes(w[..8].try_into().unwrap());
+    let b = u64::from_le_bytes(w[8..WIN].try_into().unwrap());
+    a.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ b.wrapping_mul(0xC2B2_AE3D_27D4_EB4F)
+}
+
+/// Length of the common prefix of `a` and `b`, compared eight bytes at a
+/// time (the encoder's hot loop — byte-wise iteration is an order of
+/// magnitude slower unoptimized).
+#[inline]
+fn common_prefix(a: &[u8], b: &[u8]) -> usize {
+    let n = a.len().min(b.len());
+    let mut i = 0usize;
+    while i + 8 <= n {
+        let x = u64::from_le_bytes(a[i..i + 8].try_into().unwrap());
+        let y = u64::from_le_bytes(b[i..i + 8].try_into().unwrap());
+        if x != y {
+            return i + ((x ^ y).trailing_zeros() / 8) as usize;
+        }
+        i += 8;
+    }
+    while i < n && a[i] == b[i] {
+        i += 1;
+    }
+    i
+}
+
+/// Encode `new` as a delta against `old`.
+///
+/// Always succeeds; with an empty or unrelated `old` the result degenerates
+/// to one literal run (a fixed few bytes over `new.len()`).
+pub fn encode(old: &[u8], new: &[u8]) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_varint(&mut out, new.len() as u64);
+
+    // LZ-style hash chains over `old`: `head[h]` is the lowest window
+    // position with hash bucket `h`, `link[i]` the next higher one with
+    // the same bucket (positions are inserted in reverse). No allocation
+    // per position, O(1) insert, and the candidate walk visits positions
+    // in ascending order — both images lay out the same structures in the
+    // same order, so early positions in `old` pair with early positions
+    // in `new` and the capped walk spends its tries where matches live.
+    let positions = old.len().saturating_sub(WIN - 1);
+    let buckets = positions.next_power_of_two().max(64);
+    // Bucket = the hash's *high* bits: multiply mixing concentrates
+    // entropy there, and skewed buckets waste the capped candidate walk.
+    let shift = 64 - buckets.trailing_zeros();
+    let bucket_of = |h: u64| (h >> shift) as usize;
+    let mut head: Vec<u32> = vec![u32::MAX; buckets];
+    let mut link: Vec<u32> = vec![u32::MAX; positions];
+    for i in (0..positions).rev() {
+        let h = bucket_of(win_hash(&old[i..i + WIN]));
+        link[i] = head[h];
+        head[h] = i as u32;
+    }
+
+    let flush_literal = |out: &mut Vec<u8>, lit: &[u8]| {
+        if !lit.is_empty() {
+            out.push(OP_LITERAL);
+            put_varint(out, lit.len() as u64);
+            out.extend_from_slice(lit);
+        }
+    };
+
+    let mut i = 0usize;
+    let mut lit_start = 0usize;
+    let mut expect = 0i64; // where a sequential copy would resume in `old`
+    while i < new.len() {
+        let mut best_len = 0usize;
+        let mut best_src = 0usize;
+        if i + WIN <= new.len() {
+            let mut cand = head[bucket_of(win_hash(&new[i..i + WIN]))];
+            let mut tries = 0;
+            while cand != u32::MAX && tries < MAX_CANDIDATES {
+                let c = cand as usize;
+                let m = common_prefix(&old[c..], &new[i..]);
+                // Longest match wins; among equals, the one closest to the
+                // expected position (cheapest offset varint).
+                let closer = m == best_len
+                    && best_len > 0
+                    && (c as i64 - expect).abs() < (best_src as i64 - expect).abs();
+                if m > best_len || closer {
+                    best_len = m;
+                    best_src = c;
+                }
+                cand = link[c];
+                tries += 1;
+            }
+        }
+        if best_len >= MIN_MATCH {
+            flush_literal(&mut out, &new[lit_start..i]);
+            out.push(OP_COPY);
+            put_varint(&mut out, zigzag(best_src as i64 - expect));
+            put_varint(&mut out, best_len as u64);
+            i += best_len;
+            lit_start = i;
+            expect = (best_src + best_len) as i64;
+        } else {
+            i += 1;
+        }
+    }
+    flush_literal(&mut out, &new[lit_start..]);
+    out
+}
+
+/// Reconstruct the new image from `old` and a delta produced by [`encode`].
+pub fn apply(old: &[u8], delta: &[u8]) -> Result<Vec<u8>, CodecError> {
+    let mut pos = 0usize;
+    let new_len = get_varint(delta, &mut pos)?;
+    let new_len = usize::try_from(new_len).map_err(|_| CodecError::BadValue("delta image length"))?;
+    let mut out = Vec::with_capacity(new_len);
+    let mut expect = 0i64;
+    while pos < delta.len() {
+        let op = delta[pos];
+        pos += 1;
+        match op {
+            OP_LITERAL => {
+                let len = get_varint(delta, &mut pos)? as usize;
+                let end = pos.checked_add(len).ok_or(CodecError::Truncated)?;
+                if end > delta.len() {
+                    return Err(CodecError::Truncated);
+                }
+                out.extend_from_slice(&delta[pos..end]);
+                pos = end;
+            }
+            OP_COPY => {
+                let off = unzigzag(get_varint(delta, &mut pos)?);
+                let len = get_varint(delta, &mut pos)? as usize;
+                let src = expect
+                    .checked_add(off)
+                    .filter(|&s| s >= 0)
+                    .ok_or(CodecError::BadValue("delta copy before start of image"))?
+                    as usize;
+                let end = src
+                    .checked_add(len)
+                    .filter(|&e| e <= old.len())
+                    .ok_or(CodecError::BadValue("delta copy past end of image"))?;
+                out.extend_from_slice(&old[src..end]);
+                expect = end as i64;
+            }
+            _ => return Err(CodecError::BadValue("unknown delta op")),
+        }
+        if out.len() > new_len {
+            return Err(CodecError::BadValue("delta output exceeds declared length"));
+        }
+    }
+    if out.len() != new_len {
+        return Err(CodecError::BadValue("delta output shorter than declared"));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic pseudo-random filler (splitmix-style) for test images.
+    fn fill(seed: u64, len: usize) -> Vec<u8> {
+        let mut x = seed;
+        (0..len)
+            .map(|_| {
+                x = x.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+                (x >> 33) as u8
+            })
+            .collect()
+    }
+
+    #[test]
+    fn golden_byte_layout() {
+        // 16 'A's, two inserted literals, 16 'B's: copy + literal + copy,
+        // sequential copies encoding their offset as zigzag(0) = 0x00.
+        let old = [b"AAAAAAAAAAAAAAAA".as_slice(), b"BBBBBBBBBBBBBBBB"].concat();
+        let new = [
+            b"AAAAAAAAAAAAAAAA".as_slice(),
+            b"xy",
+            b"BBBBBBBBBBBBBBBB",
+        ]
+        .concat();
+        let d = encode(&old, &new);
+        assert_eq!(
+            d,
+            vec![
+                34, // varint new_len
+                OP_COPY, 0x00, 16, // copy old[0..16]
+                OP_LITERAL, 2, b'x', b'y',
+                OP_COPY, 0x00, 16, // copy old[16..32], offset still sequential
+            ]
+        );
+        assert_eq!(apply(&old, &d).unwrap(), new);
+    }
+
+    #[test]
+    fn identical_images_collapse_to_one_copy() {
+        let img = fill(7, 40_000);
+        let d = encode(&img, &img);
+        assert!(d.len() < 16, "self-delta should be a handful of bytes, got {}", d.len());
+        assert_eq!(apply(&img, &d).unwrap(), img);
+    }
+
+    #[test]
+    fn shifted_and_mutated_image_roundtrips_small() {
+        // Insert bytes near the front (shifting everything) and mutate a
+        // few spots: the delta must stay far below the image size and
+        // reconstruct exactly.
+        let old = fill(42, 100_000);
+        let mut new = old.clone();
+        new.splice(1000..1000, fill(3, 13));
+        for i in (5_000..90_000).step_by(7_919) {
+            new[i] ^= 0x5A;
+        }
+        let d = encode(&old, &new);
+        assert!(d.len() < old.len() / 10, "delta too large: {} bytes", d.len());
+        assert_eq!(apply(&old, &d).unwrap(), new);
+    }
+
+    #[test]
+    fn unrelated_old_degenerates_to_literal() {
+        let old = fill(1, 4096);
+        let new = fill(2, 4096);
+        let d = encode(&old, &new);
+        assert!(d.len() >= new.len(), "unrelated images cannot compress");
+        assert_eq!(apply(&old, &d).unwrap(), new);
+        // Empty old: same story, and never panics.
+        let d = encode(&[], &new);
+        assert_eq!(apply(&[], &d).unwrap(), new);
+    }
+
+    #[test]
+    fn empty_new_image() {
+        let d = encode(b"whatever", &[]);
+        assert_eq!(apply(b"whatever", &d).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn apply_rejects_malformed_deltas() {
+        let old = fill(9, 1024);
+        let new = fill(9, 1000); // shares a prefix: delta will contain a copy
+        let good = encode(&old, &new);
+        assert_eq!(apply(&old, &good).unwrap(), new);
+
+        // Truncated mid-op.
+        assert!(apply(&old, &good[..good.len() / 2]).is_err());
+        // Unknown op tag.
+        let mut bad = good.clone();
+        let varint_len = {
+            let mut p = 0;
+            get_varint(&good, &mut p).unwrap();
+            p
+        };
+        bad[varint_len] = 0x7F;
+        assert!(matches!(
+            apply(&old, &bad),
+            Err(CodecError::BadValue("unknown delta op"))
+        ));
+        // Copy past the end of the old image.
+        let mut oob = Vec::new();
+        put_varint(&mut oob, 16);
+        oob.push(OP_COPY);
+        put_varint(&mut oob, zigzag(1020)); // src 1020, len 16 > old.len() 1024
+        put_varint(&mut oob, 16);
+        assert!(matches!(
+            apply(&old, &oob),
+            Err(CodecError::BadValue("delta copy past end of image"))
+        ));
+        // Copy before the start.
+        let mut neg = Vec::new();
+        put_varint(&mut neg, 16);
+        neg.push(OP_COPY);
+        put_varint(&mut neg, zigzag(-5));
+        put_varint(&mut neg, 16);
+        assert!(apply(&old, &neg).is_err());
+        // Declared length disagreeing with the ops.
+        let mut short = Vec::new();
+        put_varint(&mut short, 99);
+        short.push(OP_LITERAL);
+        put_varint(&mut short, 3);
+        short.extend_from_slice(b"abc");
+        assert!(matches!(
+            apply(&old, &short),
+            Err(CodecError::BadValue("delta output shorter than declared"))
+        ));
+    }
+
+    #[test]
+    fn varint_roundtrip_extremes() {
+        for v in [0u64, 1, 127, 128, 16_383, 16_384, u64::MAX] {
+            let mut b = Vec::new();
+            put_varint(&mut b, v);
+            let mut p = 0;
+            assert_eq!(get_varint(&b, &mut p).unwrap(), v);
+            assert_eq!(p, b.len());
+        }
+        for v in [0i64, -1, 1, i64::MIN, i64::MAX, -123_456] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+}

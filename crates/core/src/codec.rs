@@ -21,8 +21,11 @@
 //! * [`Snapshot`] — the trait simulator components implement; blanket
 //!   implementations cover primitives, tuples, `Vec`, `VecDeque`, `Option`
 //!   and fixed-size arrays, so most impls are field-by-field one-liners.
+//!   Components that can additionally encode *only what changed since the
+//!   last capture* implement [`DeltaSnapshot`] on top.
 //! * [`FileWriter`] / [`FileReader`] — the on-disk container: magic +
-//!   format version + a table of `(id, length, crc32, payload)` sections.
+//!   format version + a chain header (full/delta kind, sequence number,
+//!   parent-file CRC) + a table of `(id, length, crc32, payload)` sections.
 //!   See `DESIGN.md` §12 for the byte-level specification.
 
 use std::collections::VecDeque;
@@ -32,8 +35,20 @@ use std::fmt;
 pub const MAGIC: [u8; 8] = *b"PROSNAP\0";
 
 /// Current container format version. Bump on any layout change; readers
-/// reject files whose version differs (no silent migration).
-pub const FORMAT_VERSION: u32 = 1;
+/// reject files whose version differs (no silent migration). v2 added the
+/// chain header (kind / sequence / parent CRC) enabling delta checkpoints.
+pub const FORMAT_VERSION: u32 = 2;
+
+/// What a container holds: a complete state capture, or only the state
+/// that changed since the predecessor file in its chain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ContainerKind {
+    /// A self-sufficient snapshot (also the base of a delta chain).
+    Full,
+    /// An incremental snapshot; meaningful only on top of the predecessor
+    /// identified by [`FileReader::parent_crc`].
+    Delta,
+}
 
 /// Every way a snapshot can fail to decode.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -57,6 +72,10 @@ pub enum CodecError {
     /// The snapshot is well-formed but belongs to a different run setup
     /// (machine config, kernel or scheduler mismatch).
     Mismatch(String),
+    /// A delta container does not continue the chain it was applied to:
+    /// wrong kind, out-of-order sequence number, or a parent CRC that does
+    /// not match the predecessor file.
+    ChainBroken(String),
 }
 
 impl fmt::Display for CodecError {
@@ -77,6 +96,9 @@ impl fmt::Display for CodecError {
             CodecError::BadValue(what) => write!(f, "snapshot contains an invalid value: {what}"),
             CodecError::Mismatch(why) => {
                 write!(f, "snapshot does not match this run: {why}")
+            }
+            CodecError::ChainBroken(why) => {
+                write!(f, "delta chain is broken: {why}")
             }
         }
     }
@@ -292,6 +314,30 @@ pub trait Snapshot: Sized {
     fn load(r: &mut Reader<'_>) -> Result<Self, CodecError>;
 }
 
+/// A [`Snapshot`] component that also tracks which parts of its state were
+/// modified since the last capture boundary, so a checkpoint chain can
+/// write only what changed.
+///
+/// The contract mirrors [`Snapshot`]'s bit-exactness, extended over
+/// chains: for any sequence of capture boundaries, `save` (or `save_delta`)
+/// followed by `mark_clean` at each boundary, then a restore built from the
+/// full base via `load` plus every delta via `apply_delta` in order, must
+/// yield a value observably identical to the original at the final
+/// boundary. `mark_clean` is a separate call (not folded into the save)
+/// so captures can run behind shared references and so a *skipped* write
+/// — e.g. an in-memory pause snapshot — never perturbs the chain.
+pub trait DeltaSnapshot: Snapshot {
+    /// Append an encoding of only the state modified since the last
+    /// [`DeltaSnapshot::mark_clean`] (or construction, whichever is later).
+    fn save_delta(&self, w: &mut Writer);
+    /// Declare the current state captured: subsequent `save_delta` calls
+    /// encode only modifications made after this point.
+    fn mark_clean(&mut self);
+    /// Apply a delta produced by [`DeltaSnapshot::save_delta`] on top of
+    /// the current state.
+    fn apply_delta(&mut self, r: &mut Reader<'_>) -> Result<(), CodecError>;
+}
+
 macro_rules! snapshot_prim {
     ($ty:ty, $put:ident, $get:ident) => {
         impl Snapshot for $ty {
@@ -415,34 +461,75 @@ snapshot_tuple!(A: 0, B: 1, C: 2, D: 3);
 /// Layout (all integers little-endian):
 ///
 /// ```text
-/// magic    8 bytes  "PROSNAP\0"
-/// version  u32      FORMAT_VERSION
-/// count    u32      number of sections
+/// magic       8 bytes  "PROSNAP\0"
+/// version     u32      FORMAT_VERSION (2)
+/// kind        u8       0 = full snapshot, 1 = delta
+/// sequence    u64      position in the chain (0 for a full/base snapshot)
+/// parent_crc  u32      CRC-32 of the predecessor file's complete bytes
+///                      (0 for a full/base snapshot)
+/// count       u32      number of sections
 /// then, per section:
 ///   id       u32    caller-chosen section id
 ///   len      u64    payload length in bytes
 ///   crc32    u32    IEEE CRC-32 of the payload
 ///   payload  len bytes
 /// ```
-#[derive(Debug, Default)]
+///
+/// The chain header makes a `base + delta-1 + delta-2 + …` sequence
+/// self-validating: each delta names its predecessor by CRC, so a reader
+/// can detect a delta grafted onto the wrong base (or applied out of
+/// order) without any out-of-band manifest.
+#[derive(Debug)]
 pub struct FileWriter {
+    kind: ContainerKind,
+    sequence: u64,
+    parent_crc: u32,
     sections: Vec<(u32, Vec<u8>)>,
 }
 
+impl Default for FileWriter {
+    fn default() -> Self {
+        FileWriter::new()
+    }
+}
+
 impl FileWriter {
-    /// An empty container.
+    /// An empty full-snapshot container (sequence 0, no parent).
     pub fn new() -> Self {
-        FileWriter::default()
+        FileWriter {
+            kind: ContainerKind::Full,
+            sequence: 0,
+            parent_crc: 0,
+            sections: Vec::new(),
+        }
+    }
+
+    /// An empty delta container at chain position `sequence` (≥ 1), whose
+    /// predecessor file's bytes hash to `parent_crc`.
+    pub fn new_delta(sequence: u64, parent_crc: u32) -> Self {
+        debug_assert!(sequence > 0, "delta sequence numbers start at 1");
+        FileWriter {
+            kind: ContainerKind::Delta,
+            sequence,
+            parent_crc,
+            sections: Vec::new(),
+        }
     }
 
     /// Append a section. Ids need not be ordered but must be unique; the
     /// reader indexes by id.
     pub fn add_section(&mut self, id: u32, w: Writer) {
+        self.add_section_bytes(id, w.into_bytes());
+    }
+
+    /// Append a section from pre-encoded payload bytes (e.g. a
+    /// [`crate::bdelta`] stream, which is not built through a [`Writer`]).
+    pub fn add_section_bytes(&mut self, id: u32, payload: Vec<u8>) {
         debug_assert!(
             self.sections.iter().all(|(i, _)| *i != id),
             "duplicate snapshot section id {id}"
         );
-        self.sections.push((id, w.into_bytes()));
+        self.sections.push((id, payload));
     }
 
     /// Serialize the container to bytes.
@@ -450,6 +537,12 @@ impl FileWriter {
         let mut out = Vec::new();
         out.extend_from_slice(&MAGIC);
         out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        out.push(match self.kind {
+            ContainerKind::Full => 0,
+            ContainerKind::Delta => 1,
+        });
+        out.extend_from_slice(&self.sequence.to_le_bytes());
+        out.extend_from_slice(&self.parent_crc.to_le_bytes());
         out.extend_from_slice(&(self.sections.len() as u32).to_le_bytes());
         for (id, payload) in &self.sections {
             out.extend_from_slice(&id.to_le_bytes());
@@ -465,6 +558,9 @@ impl FileWriter {
 /// CRC verified up front, payloads owned.
 #[derive(Debug)]
 pub struct FileReader {
+    kind: ContainerKind,
+    sequence: u64,
+    parent_crc: u32,
     sections: Vec<(u32, Vec<u8>)>,
 }
 
@@ -480,6 +576,22 @@ impl FileReader {
         if version != FORMAT_VERSION {
             return Err(CodecError::BadVersion(version));
         }
+        let kind = match r.get_u8()? {
+            0 => ContainerKind::Full,
+            1 => ContainerKind::Delta,
+            _ => return Err(CodecError::BadValue("container kind")),
+        };
+        let sequence = r.get_u64()?;
+        let parent_crc = r.get_u32()?;
+        match kind {
+            ContainerKind::Full if sequence != 0 || parent_crc != 0 => {
+                return Err(CodecError::BadValue("full container with chain linkage"));
+            }
+            ContainerKind::Delta if sequence == 0 => {
+                return Err(CodecError::BadValue("delta container with sequence 0"));
+            }
+            _ => {}
+        }
         let count = r.get_u32()?;
         let mut sections = Vec::with_capacity(count as usize);
         for _ in 0..count {
@@ -494,7 +606,28 @@ impl FileReader {
         }
         r.finish()
             .map_err(|_| CodecError::BadValue("trailing bytes after last section"))?;
-        Ok(FileReader { sections })
+        Ok(FileReader {
+            kind,
+            sequence,
+            parent_crc,
+            sections,
+        })
+    }
+
+    /// Whether this container is a full snapshot or a delta.
+    pub fn kind(&self) -> ContainerKind {
+        self.kind
+    }
+
+    /// Chain position: 0 for a full/base snapshot, ≥ 1 for deltas.
+    pub fn sequence(&self) -> u64 {
+        self.sequence
+    }
+
+    /// CRC-32 of the predecessor file's complete bytes (0 for a full
+    /// snapshot).
+    pub fn parent_crc(&self) -> u32 {
+        self.parent_crc
     }
 
     /// Ids of all sections, in file order.
@@ -504,10 +637,17 @@ impl FileReader {
 
     /// A [`Reader`] over section `id`'s payload.
     pub fn section(&self, id: u32) -> Result<Reader<'_>, CodecError> {
+        self.section_bytes(id).map(Reader::new)
+    }
+
+    /// Section `id`'s raw payload bytes (CRC already verified at parse).
+    /// Delta containers store [`crate::bdelta`] streams here, which are
+    /// decoded against the predecessor image rather than read field-wise.
+    pub fn section_bytes(&self, id: u32) -> Result<&[u8], CodecError> {
         self.sections
             .iter()
             .find(|(i, _)| *i == id)
-            .map(|(_, p)| Reader::new(p))
+            .map(|(_, p)| p.as_slice())
             .ok_or(CodecError::MissingSection(id))
     }
 }
@@ -571,9 +711,10 @@ mod tests {
 
     #[test]
     fn golden_container_bytes() {
-        // Pin the exact byte layout of a minimal container so an accidental
-        // format change (field order, width, endianness, header shape)
-        // fails loudly rather than silently invalidating old checkpoints.
+        // Pin the exact byte layout of a minimal full container so an
+        // accidental format change (field order, width, endianness, header
+        // shape) fails loudly rather than silently invalidating old
+        // checkpoints.
         let mut w = Writer::new();
         w.put_u32(0xAABB_CCDD);
         w.put_u8(0x07);
@@ -583,7 +724,10 @@ mod tests {
         let payload = [0xDDu8, 0xCC, 0xBB, 0xAA, 0x07];
         let mut expect: Vec<u8> = Vec::new();
         expect.extend_from_slice(b"PROSNAP\0"); // magic
-        expect.extend_from_slice(&1u32.to_le_bytes()); // format version
+        expect.extend_from_slice(&2u32.to_le_bytes()); // format version
+        expect.push(0); // kind: full
+        expect.extend_from_slice(&0u64.to_le_bytes()); // sequence
+        expect.extend_from_slice(&0u32.to_le_bytes()); // parent crc
         expect.extend_from_slice(&1u32.to_le_bytes()); // section count
         expect.extend_from_slice(&1u32.to_le_bytes()); // section id
         expect.extend_from_slice(&5u64.to_le_bytes()); // payload length
@@ -592,6 +736,64 @@ mod tests {
         assert_eq!(bytes, expect);
         // And the CRC itself is pinned as a literal, independent of crc32():
         assert_eq!(crc32(&payload), 0x885B_CD7A, "payload CRC changed");
+        let parsed = FileReader::parse(&bytes).unwrap();
+        assert_eq!(parsed.kind(), ContainerKind::Full);
+        assert_eq!(parsed.sequence(), 0);
+        assert_eq!(parsed.parent_crc(), 0);
+    }
+
+    #[test]
+    fn golden_delta_container_bytes() {
+        // The v2 delta header, byte for byte: kind 1, the chain sequence
+        // number, and the predecessor file's CRC.
+        let mut w = Writer::new();
+        w.put_u8(0x2A);
+        let mut f = FileWriter::new_delta(3, 0xDEAD_BEEF);
+        f.add_section(9, w);
+        let bytes = f.finish();
+        let payload = [0x2Au8];
+        let mut expect: Vec<u8> = Vec::new();
+        expect.extend_from_slice(b"PROSNAP\0"); // magic
+        expect.extend_from_slice(&2u32.to_le_bytes()); // format version
+        expect.push(1); // kind: delta
+        expect.extend_from_slice(&3u64.to_le_bytes()); // sequence
+        expect.extend_from_slice(&0xDEAD_BEEFu32.to_le_bytes()); // parent crc
+        expect.extend_from_slice(&1u32.to_le_bytes()); // section count
+        expect.extend_from_slice(&9u32.to_le_bytes()); // section id
+        expect.extend_from_slice(&1u64.to_le_bytes()); // payload length
+        expect.extend_from_slice(&crc32(&payload).to_le_bytes());
+        expect.extend_from_slice(&payload);
+        assert_eq!(bytes, expect);
+        let parsed = FileReader::parse(&bytes).unwrap();
+        assert_eq!(parsed.kind(), ContainerKind::Delta);
+        assert_eq!(parsed.sequence(), 3);
+        assert_eq!(parsed.parent_crc(), 0xDEAD_BEEF);
+    }
+
+    #[test]
+    fn malformed_chain_headers_are_rejected() {
+        // A delta must carry a nonzero sequence; a full container must not
+        // carry chain linkage. Corrupt either invariant and parse fails.
+        let bytes = FileWriter::new().finish();
+        let kind_off = 8 + 4; // magic + version
+        let mut delta0 = bytes.clone();
+        delta0[kind_off] = 1; // claim delta, but sequence stays 0
+        assert_eq!(
+            FileReader::parse(&delta0).err(),
+            Some(CodecError::BadValue("delta container with sequence 0"))
+        );
+        let mut linked_full = bytes.clone();
+        linked_full[kind_off + 1] = 7; // full, but with a sequence number
+        assert_eq!(
+            FileReader::parse(&linked_full).err(),
+            Some(CodecError::BadValue("full container with chain linkage"))
+        );
+        let mut bad_kind = bytes;
+        bad_kind[kind_off] = 9;
+        assert_eq!(
+            FileReader::parse(&bad_kind).err(),
+            Some(CodecError::BadValue("container kind"))
+        );
     }
 
     #[test]

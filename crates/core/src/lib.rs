@@ -33,6 +33,7 @@
 //! fork-join pool used to parallelize independent simulation runs).
 
 pub mod adaptive;
+pub mod bdelta;
 pub mod codec;
 pub mod fuzz;
 pub mod fxhash;
@@ -46,7 +47,9 @@ pub mod rng;
 pub mod tl;
 
 pub use adaptive::{AdaptiveConfig, ProAdaptive};
-pub use codec::{CodecError, FileReader, FileWriter, Reader, Snapshot, Writer};
+pub use codec::{
+    CodecError, ContainerKind, DeltaSnapshot, FileReader, FileWriter, Reader, Snapshot, Writer,
+};
 pub use fuzz::Fuzz;
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use gto::Gto;

@@ -15,9 +15,14 @@
 //! ([`GpuConfig::sm_workers`]) with **bit-identical** results — counters,
 //! stall attribution, and trace streams all match the serial engine.
 
-use crate::checkpoint::{CheckpointOptions, GpuSnapshot, LaunchStatus, ProgressEvent};
+use crate::checkpoint::{
+    ChainWriter, CheckpointOptions, GpuSnapshot, LaunchStatus, ProgressEvent, SnapshotChain,
+};
 use crate::result::{RunResult, TbOrderSnapshot, TbSpan};
-use pro_core::codec::{CodecError, FileReader, FileWriter, Reader, Snapshot, Writer};
+use pro_core::bdelta;
+use pro_core::codec::{
+    CodecError, ContainerKind, DeltaSnapshot, FileReader, FileWriter, Reader, Snapshot, Writer,
+};
 use pro_core::{SchedulerKind, WarpScheduler};
 use pro_isa::Kernel;
 use pro_mem::{GlobalMem, MemConfig, MemSubsystem};
@@ -36,6 +41,9 @@ const SEC_META: u32 = 1;
 const SEC_LOOP: u32 = 2;
 const SEC_GMEM: u32 = 3;
 const SEC_MEM: u32 = 4;
+/// Delta containers carry this instead of [`SEC_GMEM`]: only the pages
+/// written since the previous capture in the chain.
+const SEC_GMEM_DELTA: u32 = 5;
 /// Per-SM sections live at `SEC_SM_BASE + sm_index`.
 const SEC_SM_BASE: u32 = 10;
 
@@ -444,7 +452,50 @@ impl Gpu {
             trace,
             tracer,
             ckpt,
-            Some(snapshot),
+            Some(ResumeSource::Full(snapshot)),
+        )
+    }
+
+    /// Continue a launch from a delta-checkpoint chain: the base snapshot's
+    /// global memory with every delta's dirty pages folded in, and all
+    /// other state from the newest container. Identity checks and the
+    /// bit-identical guarantee are the same as [`Gpu::resume`]. When
+    /// `ckpt` points delta checkpointing at the chain's own directory, the
+    /// resumed run *continues* the chain (appending deltas after the ones
+    /// it restored) instead of starting a new one.
+    pub fn resume_chain(
+        &mut self,
+        chain: &SnapshotChain,
+        kernel: &Kernel,
+        scheduler: SchedulerKind,
+        trace: TraceOptions,
+        ckpt: &CheckpointOptions,
+    ) -> Result<LaunchStatus, SimError> {
+        self.resume_chain_traced(chain, kernel, scheduler, trace, ckpt, &mut NoopTracer)
+    }
+
+    /// [`Gpu::resume_chain`] with an external [`Tracer`] on the bus.
+    pub fn resume_chain_traced(
+        &mut self,
+        chain: &SnapshotChain,
+        kernel: &Kernel,
+        scheduler: SchedulerKind,
+        trace: TraceOptions,
+        ckpt: &CheckpointOptions,
+        tracer: &mut dyn Tracer,
+    ) -> Result<LaunchStatus, SimError> {
+        let (w, t, u) = (
+            self.cfg.sm.max_warps,
+            self.cfg.sm.max_tbs,
+            self.cfg.sm.units,
+        );
+        self.launch_inner(
+            kernel,
+            &mut || scheduler.build(w, t, u),
+            trace,
+            tracer,
+            ckpt,
+            Some(ResumeSource::Chain(chain)),
         )
     }
 
@@ -455,11 +506,16 @@ impl Gpu {
         trace: TraceOptions,
         tracer: &mut dyn Tracer,
         ckpt: &CheckpointOptions,
-        resume: Option<&GpuSnapshot>,
+        resume: Option<ResumeSource<'_>>,
     ) -> Result<LaunchStatus, SimError> {
         if ckpt.every > 0 && ckpt.path.is_none() {
             return Err(SimError::CheckpointIo(
                 "a checkpoint interval was set without a checkpoint path".into(),
+            ));
+        }
+        if ckpt.delta && ckpt.path.is_none() {
+            return Err(SimError::CheckpointIo(
+                "delta checkpointing was requested without a chain directory".into(),
             ));
         }
         let num_sms = self.cfg.num_sms as usize;
@@ -470,9 +526,20 @@ impl Gpu {
         let wall_start = Instant::now();
         // Parse, CRC-check and identity-check the resume container before
         // touching any simulator state, so a bad snapshot leaves the GPU
-        // untouched and reusable.
-        let resume_fr = match resume {
-            Some(s) => Some(FileReader::parse(s.as_bytes())?),
+        // untouched and reusable. For a chain, the *newest* container
+        // carries every section except full gmem, which is folded
+        // base-then-deltas below.
+        let resume_fr = match &resume {
+            Some(ResumeSource::Full(s)) => {
+                let fr = FileReader::parse(s.as_bytes())?;
+                if fr.kind() != ContainerKind::Full {
+                    return Err(SimError::Snapshot(CodecError::Mismatch(
+                        "cannot resume from a bare delta container; load the whole chain".into(),
+                    )));
+                }
+                Some(fr)
+            }
+            Some(ResumeSource::Chain(c)) => Some(FileReader::parse(c.newest().as_bytes())?),
             None => None,
         };
         let mut meta_loaded: Option<Meta> = None;
@@ -483,6 +550,15 @@ impl Gpu {
             meta.check_matches(&Meta::of(&self.cfg, kernel, "", 0, 0))?;
             meta_loaded = Some(meta);
         }
+        // A chain restore reconstructs the tip's memory-hierarchy and
+        // per-SM payloads by folding every delta's bdelta stream onto the
+        // base — before any simulator state is touched, so a chain that is
+        // malformed beyond what `SnapshotChain::load_dir` can see leaves
+        // the GPU reusable.
+        let chain_image: Option<ChainImage> = match &resume {
+            Some(ResumeSource::Chain(c)) => Some(fold_chain_image(c, num_sms)?),
+            _ => None,
+        };
 
         for sm in &mut self.sms {
             sm.begin_kernel(kernel);
@@ -517,14 +593,54 @@ impl Gpu {
             last_order_sample = r.get_u64()?;
             recorder.load_state(&mut r)?;
             r.finish()?;
-            let mut r = fr.section(SEC_GMEM)?;
-            self.gmem = Snapshot::load(&mut r)?;
-            r.finish()?;
-            let mut r = fr.section(SEC_MEM)?;
+            match &resume {
+                Some(ResumeSource::Chain(chain)) if chain.deltas() > 0 => {
+                    // Replay the chain: the base's full image, then each
+                    // delta's dirty pages in sequence order. The restored
+                    // memory starts with a clean dirty map — a restore is
+                    // itself a capture boundary — so a continued chain's
+                    // next delta is bit-identical to the uninterrupted
+                    // run's.
+                    let base_fr = FileReader::parse(chain.containers[0].as_bytes())?;
+                    let mut r = base_fr.section(SEC_GMEM)?;
+                    self.gmem = Snapshot::load(&mut r)?;
+                    r.finish()?;
+                    for delta in &chain.containers[1..] {
+                        let dfr = FileReader::parse(delta.as_bytes())?;
+                        let mut r = dfr.section(SEC_GMEM_DELTA)?;
+                        self.gmem.apply_delta(&mut r)?;
+                        r.finish()?;
+                    }
+                    self.gmem.mark_clean();
+                }
+                _ => {
+                    let mut r = fr.section(SEC_GMEM)?;
+                    self.gmem = Snapshot::load(&mut r)?;
+                    r.finish()?;
+                }
+            }
+            let mut r = match &chain_image {
+                Some(img) => Reader::new(&img.mem),
+                None => fr.section(SEC_MEM)?,
+            };
             self.mem.restore_snapshot(&mut r)?;
             r.finish()?;
         } else {
             recorder.on_kernel_begin(&kernel.program.name, start_cycle);
+        }
+        // Delta-chain writer. Seeded from the restored chain when the run
+        // continues checkpointing into the same directory it resumed from
+        // (linkage carries on after the restored deltas, and the folded tip
+        // image becomes the diff base for the next capture); otherwise the
+        // first boundary starts a fresh chain with a full base.
+        let mut chain_writer: Option<ChainWriter> = None;
+        let mut chain_caps: Option<ChainImage> = None;
+        if ckpt.delta {
+            if let Some(ResumeSource::Chain(chain)) = &resume {
+                if ckpt.path.as_deref() == Some(chain.dir.as_path()) {
+                    chain_writer = Some(ChainWriter::resume(chain, ckpt.keep));
+                }
+            }
         }
         // Hoisted: one enabled() check per launch, not per cycle.
         let bus_on = recorder.enabled();
@@ -553,10 +669,16 @@ impl Gpu {
             let meta = meta_loaded.as_ref().expect("META parsed with container");
             // Restore each SM and its policy; on failure reassemble the SM
             // array so the GPU survives a rejected resume.
-            if let Err(e) = restore_lanes(fr, meta, &mut lane_vec) {
+            if let Err(e) = restore_lanes(fr, meta, &mut lane_vec, chain_image.as_ref()) {
                 self.sms = lane_vec.into_iter().map(|l| l.sm).collect();
                 return Err(e);
             }
+        }
+        if chain_writer.is_some() {
+            // Continuing the chain: the tip image the restore just applied
+            // is exactly what the interrupted writer would have diffed the
+            // next delta against.
+            chain_caps = chain_image;
         }
         let mut chunks: Vec<Vec<Lane>> = Vec::with_capacity(workers);
         {
@@ -781,32 +903,138 @@ impl Gpu {
                 let boundary = pause || (ckpt.every > 0 && rel_after.is_multiple_of(ckpt.every));
                 if boundary {
                     let mut st = prof.start();
-                    let snap = {
-                        let g = gmem_lock.read().expect("gmem lock");
-                        GpuSnapshot::from_bytes(build_snapshot(
-                            &self.cfg,
-                            kernel,
-                            self.cycle,
-                            start_cycle,
-                            &pending,
-                            outstanding,
-                            rr_next_sm,
-                            &tb_order,
-                            last_order_sample,
-                            &recorder,
-                            &g,
-                            &self.mem,
-                            &chunks,
-                        ))
-                    };
-                    if let Some(path) = &ckpt.path {
-                        snap.write_to(path).map_err(|e| {
-                            SimError::CheckpointIo(format!("{}: {e}", path.display()))
-                        })?;
-                    }
-                    prof.lap(HostPhase::SnapshotWrite, &mut st);
-                    if pause {
-                        return Ok(Some(snap));
+                    if ckpt.delta {
+                        let periodic =
+                            ckpt.every > 0 && rel_after.is_multiple_of(ckpt.every);
+                        // Delta chain, driven purely by the periodic
+                        // interval: a full base anchors the chain (first
+                        // boundary, or keep-cap rollover); every other
+                        // boundary appends only the dirty gmem pages. The
+                        // capture ends with mark_clean under the write
+                        // lock (workers are parked between cycles) so the
+                        // next delta starts from this boundary. A pause
+                        // returns a standalone full snapshot and leaves
+                        // the chain exactly as the periodic schedule built
+                        // it — when the pause lands on a periodic
+                        // boundary, chain tip and pause snapshot describe
+                        // the same cycle.
+                        if periodic {
+                            let dir = ckpt.path.as_ref().expect("validated above");
+                            let io = |e: std::io::Error| {
+                                SimError::CheckpointIo(format!("{}: {e}", dir.display()))
+                            };
+                            let mut g = gmem_lock.write().expect("gmem lock");
+                            let full_due = match &chain_writer {
+                                None => true,
+                                Some(w) => w.due_rollover(),
+                            };
+                            let mode = if full_due {
+                                CaptureMode::ChainBase
+                            } else {
+                                let w = chain_writer.as_ref().expect("chain started");
+                                CaptureMode::ChainDelta {
+                                    sequence: w.next_seq(),
+                                    parent_crc: w.last_crc(),
+                                    prev: chain_caps
+                                        .as_ref()
+                                        .expect("chain started with an image"),
+                                }
+                            };
+                            let (bytes, caps) = build_snapshot(
+                                &self.cfg,
+                                kernel,
+                                self.cycle,
+                                start_cycle,
+                                &pending,
+                                outstanding,
+                                rr_next_sm,
+                                &tb_order,
+                                last_order_sample,
+                                &recorder,
+                                &g,
+                                &self.mem,
+                                &chunks,
+                                mode,
+                            );
+                            let snap = GpuSnapshot::from_bytes(bytes);
+                            if full_due {
+                                match &mut chain_writer {
+                                    None => {
+                                        chain_writer = Some(
+                                            ChainWriter::start(dir, &snap, ckpt.keep)
+                                                .map_err(io)?,
+                                        )
+                                    }
+                                    Some(w) => w.rollover(&snap).map_err(io)?,
+                                }
+                            } else {
+                                chain_writer
+                                    .as_mut()
+                                    .expect("chain started")
+                                    .append(&snap)
+                                    .map_err(io)?;
+                            }
+                            chain_caps = caps;
+                            g.mark_clean();
+                        }
+                        if pause {
+                            let g = gmem_lock.read().expect("gmem lock");
+                            let snap = GpuSnapshot::from_bytes(
+                                build_snapshot(
+                                    &self.cfg,
+                                    kernel,
+                                    self.cycle,
+                                    start_cycle,
+                                    &pending,
+                                    outstanding,
+                                    rr_next_sm,
+                                    &tb_order,
+                                    last_order_sample,
+                                    &recorder,
+                                    &g,
+                                    &self.mem,
+                                    &chunks,
+                                    CaptureMode::Full,
+                                )
+                                .0,
+                            );
+                            drop(g);
+                            prof.lap(HostPhase::SnapshotWrite, &mut st);
+                            return Ok(Some(snap));
+                        }
+                        prof.lap(HostPhase::SnapshotWrite, &mut st);
+                    } else {
+                        let snap = {
+                            let g = gmem_lock.read().expect("gmem lock");
+                            GpuSnapshot::from_bytes(
+                                build_snapshot(
+                                    &self.cfg,
+                                    kernel,
+                                    self.cycle,
+                                    start_cycle,
+                                    &pending,
+                                    outstanding,
+                                    rr_next_sm,
+                                    &tb_order,
+                                    last_order_sample,
+                                    &recorder,
+                                    &g,
+                                    &self.mem,
+                                    &chunks,
+                                    CaptureMode::Full,
+                                )
+                                .0,
+                            )
+                        };
+                        if let Some(path) = &ckpt.path {
+                            snap.write_to(path).map_err(|e| {
+                                SimError::CheckpointIo(format!("{}: {e}", path.display()))
+                            })?;
+                        }
+                        prof.lap(HostPhase::SnapshotWrite, &mut st);
+                        if pause {
+                            return Ok(Some(snap));
+                        }
                     }
                 }
 
@@ -887,6 +1115,87 @@ impl Gpu {
         }
         Ok(LaunchStatus::Completed(result))
     }
+}
+
+/// Prior state handed to `launch_inner`: one full snapshot, or a validated
+/// base+deltas chain whose gmem gets folded base-then-deltas.
+enum ResumeSource<'a> {
+    Full(&'a GpuSnapshot),
+    Chain(&'a SnapshotChain),
+}
+
+/// Full payload images of the [`bdelta`]-encoded sections (memory
+/// hierarchy, one per SM) at one capture boundary. The writer diffs the
+/// next capture against this; a chain restore rebuilds it by folding each
+/// delta's bdelta stream onto the base's payloads.
+struct ChainImage {
+    mem: Vec<u8>,
+    sms: Vec<Vec<u8>>,
+}
+
+/// Reconstruct the chain tip's full [`SEC_MEM`] and per-SM payloads:
+/// the base's sections, with every delta's bdelta stream applied in
+/// sequence order. (Gmem is folded separately — its deltas are semantic
+/// dirty pages, not byte diffs.)
+fn fold_chain_image(chain: &SnapshotChain, num_sms: usize) -> Result<ChainImage, CodecError> {
+    let base = FileReader::parse(chain.containers[0].as_bytes())?;
+    let mut mem = base.section_bytes(SEC_MEM)?.to_vec();
+    let mut sms: Vec<Vec<u8>> = (0..num_sms)
+        .map(|i| base.section_bytes(SEC_SM_BASE + i as u32).map(<[u8]>::to_vec))
+        .collect::<Result<_, _>>()?;
+    for delta in &chain.containers[1..] {
+        let dfr = FileReader::parse(delta.as_bytes())?;
+        mem = bdelta::apply(&mem, dfr.section_bytes(SEC_MEM)?)?;
+        for (i, sm) in sms.iter_mut().enumerate() {
+            *sm = bdelta::apply(sm, dfr.section_bytes(SEC_SM_BASE + i as u32)?)?;
+        }
+    }
+    Ok(ChainImage { mem, sms })
+}
+
+/// How `build_snapshot` encodes the capture.
+enum CaptureMode<'a> {
+    /// A standalone full container (pause snapshots, non-delta periodic
+    /// checkpoints).
+    Full,
+    /// The full container anchoring a chain (first boundary or keep-cap
+    /// rollover); the caller gets the section image back to diff the next
+    /// capture against.
+    ChainBase,
+    /// A chain link: gmem as dirty pages, memory hierarchy and SMs as
+    /// bdelta streams against `prev` (the previous capture's image).
+    ChainDelta {
+        sequence: u64,
+        parent_crc: u32,
+        prev: &'a ChainImage,
+    },
+}
+
+/// Check a snapshot's recorded identity against a prospective launch
+/// without restoring anything: kernel (name, code shape, grid, params),
+/// machine configuration, and — when `scheduler` is non-empty — the
+/// scheduling policy. Returns [`CodecError::Mismatch`] with a
+/// human-readable explanation on any disagreement, so hosts can refuse
+/// foreign state loudly instead of silently discarding or, worse,
+/// restoring it.
+pub fn snapshot_matches(
+    snap: &GpuSnapshot,
+    cfg: &GpuConfig,
+    kernel: &Kernel,
+    scheduler: &str,
+) -> Result<(), CodecError> {
+    let fr = FileReader::parse(snap.as_bytes())?;
+    let mut r = fr.section(SEC_META)?;
+    let meta = Meta::load(&mut r)?;
+    r.finish()?;
+    meta.check_matches(&Meta::of(cfg, kernel, "", 0, 0))?;
+    if !scheduler.is_empty() && !meta.scheduler.eq_ignore_ascii_case(scheduler) {
+        return Err(CodecError::Mismatch(format!(
+            "snapshot was taken under scheduler {:?}, this run requests {scheduler:?}",
+            meta.scheduler
+        )));
+    }
+    Ok(())
 }
 
 /// The launch identity recorded in snapshot section `SEC_META`: enough to
@@ -1006,6 +1315,17 @@ impl Meta {
 /// Serialize the complete in-flight launch into a snapshot container.
 /// Called at the end-of-cycle checkpoint boundary, when every lane is on
 /// the main thread and all deferred effects are merged.
+///
+/// In [`CaptureMode::ChainDelta`] the container is a chain link: global
+/// memory is encoded as only the pages dirtied since the previous capture
+/// ([`SEC_GMEM_DELTA`]), and the memory hierarchy plus every SM — whose
+/// serialized bytes are mostly unchanged between captures but shift with
+/// variable-length fields — as [`bdelta`] streams against the previous
+/// capture's payloads. META and LOOP are small and stay full copies in
+/// every container, so identity checks never need reconstruction.
+///
+/// Chain modes also return the capture's full section image, which the run
+/// loop keeps as the diff base for the next boundary.
 #[allow(clippy::too_many_arguments)]
 fn build_snapshot(
     cfg: &GpuConfig,
@@ -1021,9 +1341,17 @@ fn build_snapshot(
     gmem: &GlobalMem,
     mem: &MemSubsystem,
     chunks: &[Vec<Lane>],
-) -> Vec<u8> {
+    mode: CaptureMode<'_>,
+) -> (Vec<u8>, Option<ChainImage>) {
     let scheduler = chunks[0][0].policy.name();
-    let mut f = FileWriter::new();
+    let mut f = match mode {
+        CaptureMode::Full | CaptureMode::ChainBase => FileWriter::new(),
+        CaptureMode::ChainDelta {
+            sequence,
+            parent_crc,
+            ..
+        } => FileWriter::new_delta(sequence, parent_crc),
+    };
 
     let mut w = Writer::new();
     Meta::of(cfg, kernel, scheduler, cycle, start_cycle).save(&mut w);
@@ -1042,29 +1370,76 @@ fn build_snapshot(
     f.add_section(SEC_LOOP, w);
 
     let mut w = Writer::new();
-    gmem.save(&mut w);
-    f.add_section(SEC_GMEM, w);
+    if matches!(mode, CaptureMode::ChainDelta { .. }) {
+        gmem.save_delta(&mut w);
+        f.add_section(SEC_GMEM_DELTA, w);
+    } else {
+        gmem.save(&mut w);
+        f.add_section(SEC_GMEM, w);
+    }
 
     let mut w = Writer::new();
     mem.save_snapshot(&mut w);
-    f.add_section(SEC_MEM, w);
+    let mem_image = w.into_bytes();
 
-    let mut idx = 0u32;
+    let mut sm_images: Vec<Vec<u8>> = Vec::with_capacity(chunks.iter().map(Vec::len).sum());
     for lanes in chunks {
         for lane in lanes {
             let mut w = Writer::new();
             lane.sm.save_snapshot(&mut w);
             lane.policy.save_state(&mut w);
-            f.add_section(SEC_SM_BASE + idx, w);
-            idx += 1;
+            sm_images.push(w.into_bytes());
         }
     }
-    f.finish()
+
+    match mode {
+        CaptureMode::ChainDelta { prev, .. } => {
+            f.add_section_bytes(SEC_MEM, bdelta::encode(&prev.mem, &mem_image));
+            for (i, img) in sm_images.iter().enumerate() {
+                f.add_section_bytes(SEC_SM_BASE + i as u32, bdelta::encode(&prev.sms[i], img));
+            }
+            (
+                f.finish(),
+                Some(ChainImage {
+                    mem: mem_image,
+                    sms: sm_images,
+                }),
+            )
+        }
+        CaptureMode::ChainBase => {
+            f.add_section_bytes(SEC_MEM, mem_image.clone());
+            for (i, img) in sm_images.iter().enumerate() {
+                f.add_section_bytes(SEC_SM_BASE + i as u32, img.clone());
+            }
+            (
+                f.finish(),
+                Some(ChainImage {
+                    mem: mem_image,
+                    sms: sm_images,
+                }),
+            )
+        }
+        CaptureMode::Full => {
+            f.add_section_bytes(SEC_MEM, mem_image);
+            for (i, img) in sm_images.into_iter().enumerate() {
+                f.add_section_bytes(SEC_SM_BASE + i as u32, img);
+            }
+            (f.finish(), None)
+        }
+    }
 }
 
 /// Restore every SM and its freshly built policy from the container's
 /// per-SM sections, after checking the snapshot's scheduler identity.
-fn restore_lanes(fr: &FileReader, meta: &Meta, lanes: &mut [Lane]) -> Result<(), SimError> {
+/// With `image` set (a chain restore), the payloads come from the folded
+/// chain-tip image instead of the container — the newest delta only holds
+/// bdelta streams.
+fn restore_lanes(
+    fr: &FileReader,
+    meta: &Meta,
+    lanes: &mut [Lane],
+    image: Option<&ChainImage>,
+) -> Result<(), SimError> {
     let name = lanes[0].policy.name();
     if meta.scheduler != name {
         return Err(SimError::Snapshot(CodecError::Mismatch(format!(
@@ -1073,7 +1448,10 @@ fn restore_lanes(fr: &FileReader, meta: &Meta, lanes: &mut [Lane]) -> Result<(),
         ))));
     }
     for (i, lane) in lanes.iter_mut().enumerate() {
-        let mut r = fr.section(SEC_SM_BASE + i as u32)?;
+        let mut r = match image {
+            Some(img) => Reader::new(&img.sms[i]),
+            None => fr.section(SEC_SM_BASE + i as u32)?,
+        };
         lane.sm.restore_snapshot(&mut r)?;
         lane.policy.load_state(&mut r)?;
         r.finish()?;

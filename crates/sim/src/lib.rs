@@ -31,9 +31,12 @@ pub mod config;
 pub mod gpu;
 pub mod result;
 
-pub use checkpoint::{CheckpointOptions, GpuSnapshot, LaunchStatus, ProgressEvent, ProgressFn};
+pub use checkpoint::{
+    chain_delta_file, ChainWriter, CheckpointOptions, GpuSnapshot, LaunchStatus, ProgressEvent,
+    ProgressFn, SnapshotChain, CHAIN_BASE_FILE,
+};
 pub use config::{load_config, parse_config, ConfigError};
-pub use gpu::{Gpu, GpuConfig, SimError, TraceOptions};
+pub use gpu::{snapshot_matches, Gpu, GpuConfig, SimError, TraceOptions};
 pub use result::{geomean, RunResult, TbOrderSnapshot, TbSpan};
 
 // Re-export the component crates so downstream users need a single

@@ -135,6 +135,35 @@ cmp "$tracedir/json_serial.txt" "$tracedir/json_resume.txt" || {
 }
 echo "ok: checkpointed and resumed sweeps match the straight run byte-for-byte"
 
+echo "== delta chain: killed mid-sweep, resumed, byte-identical =="
+# The delta-chain crash contract (DESIGN.md §12): a sweep writing
+# base+delta chains, SIGKILLed mid-cell (no destructors, no flushing —
+# exactly the crash the chain format must survive), then resumed, emits
+# byte-for-byte the straight run's aggregate JSON. The wait loop holds the
+# kill until at least one delta landed on disk; if the quick sweep outruns
+# it and finishes first, the resume merely re-reads finished cells, which
+# must still byte-match.
+chaindir="$tracedir/chains"
+target/release/repro json --quick --checkpoint-path "$chaindir" \
+    --checkpoint-every 1000 --checkpoint-delta --checkpoint-keep 8 \
+    > "$tracedir/json_chain_killed.txt" &
+sweep_pid=$!
+for _ in $(seq 1 200); do
+    if ls "$chaindir"/*.chain/delta-*.ckpt >/dev/null 2>&1; then break; fi
+    kill -0 "$sweep_pid" 2>/dev/null || break
+    sleep 0.05
+done
+kill -9 "$sweep_pid" 2>/dev/null || true
+wait "$sweep_pid" 2>/dev/null || true
+target/release/repro json --quick --resume "$chaindir" \
+    --checkpoint-every 1000 --checkpoint-delta --checkpoint-keep 8 \
+    > "$tracedir/json_chain_resume.txt"
+cmp "$tracedir/json_serial.txt" "$tracedir/json_chain_resume.txt" || {
+    echo "ERROR: delta-chain resumed sweep differs from the straight run" >&2
+    exit 1
+}
+echo "ok: delta-chain sweep survives SIGKILL and resumes byte-for-byte"
+
 echo "== shootout: 9-policy report with host-cost columns =="
 # The profiled policy matrix: one row per scheduler in SchedulerKind::ALL,
 # each with stall attribution and host/* cost columns, plus a JSON export.
@@ -153,7 +182,8 @@ grep -q '"policies":\[' "$tracedir/shootout.json" || {
 echo "ok: shootout covers all 9 policies in text and JSON"
 
 echo "== docs: checkpoint CLI flags are documented =="
-for flag in checkpoint-path checkpoint-every resume heartbeat; do
+for flag in checkpoint-path checkpoint-every checkpoint-delta checkpoint-keep \
+    resume heartbeat; do
     for doc in README.md DESIGN.md; do
         grep -q -- "--$flag" "$doc" || {
             echo "ERROR: --$flag is not documented in $doc" >&2
@@ -161,6 +191,6 @@ for flag in checkpoint-path checkpoint-every resume heartbeat; do
         }
     done
 done
-echo "ok: README.md and DESIGN.md document all three checkpoint flags"
+echo "ok: README.md and DESIGN.md document all checkpoint flags"
 
 echo "== verify: all green =="
