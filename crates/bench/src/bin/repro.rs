@@ -971,9 +971,9 @@ fn shootout(scale: Scale, quick: bool) {
     }
 
     println!(
-        "{:<8} {:>7} {:>6} | {:>6} {:>6} {:>6} | {:>9} {:>6} {:>6} {:>6} | {:>8} {:>8}",
+        "{:<8} {:>7} {:>6} | {:>6} {:>6} {:>6} | {:>9} {:>6} {:>6} {:>6} | {:>7} {:>7} {:>7}",
         "Policy", "vsLRR", "IPC", "idle%", "sb%", "pipe%", "wall ms", "mem%", "issue%", "merge%",
-        "evq p99", "evq hwm"
+        "evq p50", "evq p99", "evq hwm"
     );
     let mut json_rows = Vec::new();
     for row in &rows {
@@ -981,13 +981,17 @@ fn shootout(scale: Scale, quick: bool) {
         let wall = row.host.counter("host/wall.ns").unwrap_or(0);
         let phase = |p: &str| row.host.counter(&format!("host/phase.{p}.ns")).unwrap_or(0);
         let share = |ns: u64| 100.0 * ns as f64 / wall.max(1) as f64;
+        let evq_p50 = row
+            .host
+            .hist("host/mem.evq.depth")
+            .map_or(0, |h| h.quantile_bound(0.5));
         let evq_p99 = row
             .host
             .hist("host/mem.evq.depth")
             .map_or(0, |h| h.quantile_bound(0.99));
         let vs_lrr = geomean_finite(row.vs_lrr.iter().copied());
         println!(
-            "{:<8} {:>6.3}x {:>6.2} | {:>5.1}% {:>5.1}% {:>5.1}% | {:>9.1} {:>5.1}% {:>5.1}% {:>5.1}% | {:>8} {:>8}",
+            "{:<8} {:>6.3}x {:>6.2} | {:>5.1}% {:>5.1}% {:>5.1}% | {:>9.1} {:>5.1}% {:>5.1}% {:>5.1}% | {:>7} {:>7} {:>7}",
             row.sched.name(),
             vs_lrr,
             row.instructions as f64 / row.cycles.max(1) as f64,
@@ -998,6 +1002,7 @@ fn shootout(scale: Scale, quick: bool) {
             share(phase("mem")),
             share(phase("issue")),
             share(phase("merge")),
+            evq_p50,
             evq_p99,
             row.evq_hwm,
         );
@@ -1013,6 +1018,7 @@ fn shootout(scale: Scale, quick: bool) {
             ("host_mem_phase_ns", unum(phase("mem"))),
             ("host_issue_phase_ns", unum(phase("issue"))),
             ("host_merge_phase_ns", unum(phase("merge"))),
+            ("evq_depth_p50", unum(evq_p50)),
             ("evq_depth_p99", unum(evq_p99)),
             ("evq_depth_hwm", unum(row.evq_hwm)),
         ]));

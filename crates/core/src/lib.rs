@@ -29,11 +29,14 @@
 //! workspace stays free of external dependencies: [`rng`] (the
 //! deterministic PRNG behind every stochastic input), [`prop`] (the
 //! in-repo property-testing harness), [`fxhash`] (a fast deterministic
-//! `HashMap` hasher for hot paths) and [`pool`] (a deterministic scoped
-//! fork-join pool used to parallelize independent simulation runs).
+//! `HashMap` hasher for hot paths), [`pool`] (a deterministic scoped
+//! fork-join pool used to parallelize independent simulation runs) and
+//! [`calq`] (the bucketed calendar event queue behind the simulation
+//! hot path's timing-event scheduling).
 
 pub mod adaptive;
 pub mod bdelta;
+pub mod calq;
 pub mod codec;
 pub mod fuzz;
 pub mod fxhash;
@@ -47,6 +50,7 @@ pub mod rng;
 pub mod tl;
 
 pub use adaptive::{AdaptiveConfig, ProAdaptive};
+pub use calq::CalQueue;
 pub use codec::{
     CodecError, ContainerKind, DeltaSnapshot, FileReader, FileWriter, Reader, Snapshot, Writer,
 };

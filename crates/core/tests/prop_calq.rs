@@ -1,0 +1,192 @@
+//! Property-based tests of the calendar event queue: for arbitrary
+//! interleavings of cycle advances and pushes — including far-future
+//! latencies that exercise the overflow tier and the bucket-resize
+//! trigger — the pop stream must be identical to the `BinaryHeap`
+//! reference model the queue replaced, and the slab must never grow past
+//! the live-event high-water mark. Runs on the in-repo `pro_core::prop`
+//! harness.
+
+use pro_core::calq::CalQueue;
+use pro_core::prop::{check, one_of, select, vec_of, Config, Strategy, StrategyExt};
+use pro_core::{prop_assert, prop_assert_eq};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// One step of a queue workload, as seen by the cycle engine: either the
+/// clock advances (and everything due is drained), or an event is
+/// scheduled `latency` cycles into the future.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Advance(u64),
+    Push(u64),
+}
+
+/// The exact structure the calendar queue replaced: a min-heap of
+/// `(time, seq, pool_index)` keys over an append-only payload pool.
+struct HeapRef {
+    heap: BinaryHeap<Reverse<(u64, u64, usize)>>,
+    pool: Vec<u64>,
+    seq: u64,
+}
+
+impl HeapRef {
+    fn new() -> Self {
+        HeapRef {
+            heap: BinaryHeap::new(),
+            pool: Vec::new(),
+            seq: 0,
+        }
+    }
+    fn push(&mut self, time: u64, payload: u64) {
+        let idx = self.pool.len();
+        self.pool.push(payload);
+        self.seq += 1;
+        self.heap.push(Reverse((time, self.seq, idx)));
+    }
+    fn pop_due(&mut self, now: u64) -> Option<(u64, u64, u64)> {
+        let &Reverse((t, s, idx)) = self.heap.peek()?;
+        if t > now {
+            return None;
+        }
+        self.heap.pop();
+        Some((t, s, self.pool[idx]))
+    }
+}
+
+/// A random workload: mostly near-future pushes (inside the default
+/// wheel horizon), a far-future band that lands in the overflow tier and
+/// — sustained — trips the resize high-water, and cycle advances that
+/// drain whatever has come due.
+fn arb_workload() -> impl Strategy<Value = (usize, Vec<Op>)> {
+    (
+        // Wheel sizes from degenerate (4 buckets: almost everything
+        // overflows) to the production default.
+        select(vec![4usize, 16, 64, 128]),
+        vec_of(
+            one_of(vec![
+                (1u64..8).prop_map(Op::Advance).boxed(),
+                (1u64..96).prop_map(Op::Push).boxed(),
+                (96u64..1500).prop_map(Op::Push).boxed(),
+            ]),
+            1..320,
+        ),
+    )
+}
+
+/// Feed the same workload to both queues; every pop must match, and the
+/// calendar queue's slab must stay bounded by the live high-water mark.
+fn run_lockstep(buckets: usize, ops: &[Op]) -> Result<(), pro_core::prop::CaseError> {
+    let mut cal: CalQueue<u64> = CalQueue::with_buckets(buckets);
+    let mut heap = HeapRef::new();
+    let mut now = 0u64;
+    let mut id = 0u64;
+    let mut max_time = 0u64;
+    for &op in ops {
+        match op {
+            Op::Advance(d) => {
+                now += d;
+                loop {
+                    let a = cal.pop_due(now);
+                    let b = heap.pop_due(now);
+                    prop_assert_eq!(a, b, "pop divergence at cycle {now}");
+                    if a.is_none() {
+                        break;
+                    }
+                }
+            }
+            Op::Push(lat) => {
+                let t = now + lat;
+                cal.push(t, id);
+                heap.push(t, id);
+                max_time = max_time.max(t);
+                id += 1;
+            }
+        }
+    }
+    // Drain the tail: both queues must empty in the same order.
+    let end = max_time + 1;
+    loop {
+        let a = cal.pop_due(end);
+        let b = heap.pop_due(end);
+        prop_assert_eq!(a, b, "tail divergence");
+        if a.is_none() {
+            break;
+        }
+    }
+    prop_assert!(cal.is_empty());
+    prop_assert!(
+        cal.pool_slots() <= cal.live_hwm(),
+        "slab {} slots exceeds live high-water {}",
+        cal.pool_slots(),
+        cal.live_hwm()
+    );
+    Ok(())
+}
+
+#[test]
+fn prop_pop_stream_matches_heap_reference() {
+    check(Config::default(), arb_workload(), |(buckets, ops)| {
+        run_lockstep(*buckets, ops)
+    });
+}
+
+/// Same property, but through a mid-workload snapshot round-trip: the
+/// restored queue must continue the pop stream exactly where the live
+/// one would have (restore re-packs the sorted pending list through the
+/// overflow tier, so this pins the insert/migrate path too).
+#[test]
+fn prop_snapshot_restore_preserves_pop_stream() {
+    use pro_core::codec::{Reader, Writer};
+    check(Config::with_cases(128), arb_workload(), |(buckets, ops)| {
+        let mut cal: CalQueue<u64> = CalQueue::with_buckets(*buckets);
+        let mut heap = HeapRef::new();
+        let mut now = 0u64;
+        let mut id = 0u64;
+        let mut max_time = 0u64;
+        let half = ops.len() / 2;
+        for (i, &op) in ops.iter().enumerate() {
+            if i == half {
+                let mut w = Writer::new();
+                cal.save_snapshot(&mut w);
+                let bytes = w.into_bytes();
+                let mut restored: CalQueue<u64> = CalQueue::new();
+                restored
+                    .restore_snapshot(&mut Reader::new(&bytes))
+                    .expect("round trip");
+                prop_assert_eq!(restored.len(), cal.len());
+                prop_assert_eq!(restored.seq(), cal.seq());
+                cal = restored;
+            }
+            match op {
+                Op::Advance(d) => {
+                    now += d;
+                    loop {
+                        let a = cal.pop_due(now);
+                        let b = heap.pop_due(now);
+                        prop_assert_eq!(a, b, "pop divergence at cycle {now}");
+                        if a.is_none() {
+                            break;
+                        }
+                    }
+                }
+                Op::Push(lat) => {
+                    let t = now + lat;
+                    cal.push(t, id);
+                    heap.push(t, id);
+                    max_time = max_time.max(t);
+                    id += 1;
+                }
+            }
+        }
+        let end = max_time + 1;
+        loop {
+            let a = cal.pop_due(end);
+            let b = heap.pop_due(end);
+            prop_assert_eq!(a, b, "tail divergence");
+            if a.is_none() {
+                break;
+            }
+        }
+        Ok(())
+    });
+}

@@ -16,11 +16,11 @@
 
 use crate::cache::{Cache, CacheConfig, CacheStats, Lookup};
 use crate::dram::{DramChannel, DramConfig, DramStats};
+use pro_core::calq::CalQueue;
 use pro_core::codec::{CodecError, Reader, Snapshot, Writer};
-use pro_trace::{Event as TraceEvent, EventClass, Hist16, Metrics, NoopTracer, Tracer};
-use std::cmp::Reverse;
 use pro_core::FxHashMap;
-use std::collections::{BinaryHeap, VecDeque};
+use pro_trace::{Event as TraceEvent, EventClass, Hist16, Metrics, NoopTracer, Tracer};
+use std::collections::VecDeque;
 
 /// Encode a [`Hist16`] (a foreign type, so it cannot implement [`Snapshot`]
 /// here) from its raw parts.
@@ -237,9 +237,10 @@ pub const QUEUE_SAMPLE_PERIOD: u64 = 64;
 
 /// Host-side gauges over the subsystem's internal queues.
 ///
-/// This is the baseline data for the ROADMAP's calendar-queue experiment:
-/// how deep does the `BinaryHeap` event queue actually get, and where does
-/// back-pressure pool (L2 input queues, DRAM channel queues, L1 MSHRs)?
+/// This was the baseline data for the ROADMAP's calendar-queue experiment
+/// (how deep does the event queue actually get, and where does
+/// back-pressure pool — L2 input queues, DRAM channel queues, L1 MSHRs?);
+/// the depth distribution now also pins the calendar queue's slab bound.
 ///
 /// Everything here is *derived* observability state: deterministic given
 /// the run, but deliberately excluded from [`MemSubsystem::save_snapshot`]
@@ -248,14 +249,17 @@ pub const QUEUE_SAMPLE_PERIOD: u64 = 64;
 /// which the `RunResult` snapshot encoding strips.
 #[derive(Debug, Clone, Default)]
 pub struct QueueProf {
-    /// Events pushed onto the heap (exact).
+    /// Events pushed onto the event queue (exact).
     pub ev_pushed: u64,
-    /// Events popped off the heap (exact).
+    /// Events popped off the event queue (exact).
     pub ev_popped: u64,
-    /// Event-heap depth high-water mark (exact, updated on every push).
+    /// Event-queue depth high-water mark (exact, updated on every push).
     pub ev_hwm: u64,
-    /// Event-heap depth, sampled every [`QUEUE_SAMPLE_PERIOD`] cycles.
+    /// Event-queue depth, sampled every [`QUEUE_SAMPLE_PERIOD`] cycles.
     pub ev_depth: Hist16,
+    /// Calendar-queue slab slots allocated (the event pool's memory
+    /// high-water; structurally ≤ `ev_hwm` thanks to free-list reuse).
+    pub ev_pool_slots: u64,
     /// Total L2 input-queue depth across slices (sampled + hwm-at-sample).
     pub l2q_hwm: u64,
     /// L2 input-queue depth histogram (sampled).
@@ -281,6 +285,7 @@ impl QueueProf {
         m.set_counter("host/mem.evq.popped", self.ev_popped);
         m.set_counter("host/mem.evq.hwm", self.ev_hwm);
         m.set_hist("host/mem.evq.depth", self.ev_depth);
+        m.set_counter("host/mem.evq.pool_slots", self.ev_pool_slots);
         m.set_counter("host/mem.l2q.hwm", self.l2q_hwm);
         m.set_hist("host/mem.l2q.depth", self.l2q_depth);
         m.set_counter("host/mem.dramq.hwm", self.dramq_hwm);
@@ -298,9 +303,9 @@ pub struct MemSubsystem {
     l1s: Vec<Cache<AccessId>>,
     slices: Vec<Slice>,
     drams: Vec<DramChannel<u32>>, // tag = partition (line travels alongside)
-    events: BinaryHeap<Reverse<(u64, u64, usize)>>,
-    event_pool: Vec<Event>,
-    seq: u64,
+    // Timing events, keyed by (time, seq): a bucketed calendar queue with
+    // slab-recycled storage (O(1) push/pop, pool bounded by live events).
+    events: CalQueue<Event>,
     // (sm<<40 | access) → (remaining lines, begin cycle)
     // Probed per completing line, never iterated — Fx-hashed for speed.
     outstanding: FxHashMap<u64, (u32, u64)>,
@@ -339,9 +344,7 @@ impl MemSubsystem {
             drams: (0..cfg.partitions)
                 .map(|_| DramChannel::new(cfg.dram))
                 .collect(),
-            events: BinaryHeap::new(),
-            event_pool: Vec::new(),
-            seq: 0,
+            events: CalQueue::new(),
             outstanding: FxHashMap::default(),
             completions: (0..num_sms).map(|_| VecDeque::new()).collect(),
             stats_extra: MemStats::default(),
@@ -356,10 +359,7 @@ impl MemSubsystem {
     }
 
     fn schedule(&mut self, time: u64, ev: Event) {
-        let idx = self.event_pool.len();
-        self.event_pool.push(ev);
-        self.seq += 1;
-        self.events.push(Reverse((time, self.seq, idx)));
+        self.events.push(time, ev);
         self.qprof.ev_pushed += 1;
         self.qprof.ev_hwm = self.qprof.ev_hwm.max(self.events.len() as u64);
     }
@@ -501,14 +501,11 @@ impl MemSubsystem {
         if now % QUEUE_SAMPLE_PERIOD == 0 {
             self.sample_queues();
         }
-        // 1. Deliver due events.
-        while let Some(&Reverse((t, _, idx))) = self.events.peek() {
-            if t > now {
-                break;
-            }
-            self.events.pop();
+        // 1. Deliver due events (the calendar queue yields them in exact
+        //    (time, seq) order; the slot is recycled before the handler runs).
+        while let Some((_, _, ev)) = self.events.pop_due(now) {
             self.qprof.ev_popped += 1;
-            match self.event_pool[idx] {
+            match ev {
                 Event::ArriveL2(txn) => {
                     let p = self.partition_of(txn.line) as usize;
                     self.slices[p].in_q.push_back(txn);
@@ -651,7 +648,9 @@ impl MemSubsystem {
         let dramq: u64 = self.drams.iter().map(|d| d.queue_len() as u64).sum();
         let mshr: u64 = self.l1s.iter().map(|c| c.mshr_pending() as u64).sum();
         let inflight = self.outstanding.len() as u64;
+        let pool_slots = self.events.pool_slots() as u64;
         let q = &mut self.qprof;
+        q.ev_pool_slots = pool_slots;
         q.ev_depth.observe(ev);
         q.l2q_depth.observe(l2q);
         q.l2q_hwm = q.l2q_hwm.max(l2q);
@@ -666,6 +665,14 @@ impl MemSubsystem {
     /// The host-side queue gauges accumulated so far (see [`QueueProf`]).
     pub fn queue_prof(&self) -> &QueueProf {
         &self.qprof
+    }
+
+    /// Event-pool memory accounting: `(slab slots allocated, live-event
+    /// high-water mark)`. The slab recycles popped slots through a free
+    /// list, so the first number is bounded by the second — not by the
+    /// total number of events ever scheduled. Pinned by tests.
+    pub fn event_pool_stats(&self) -> (usize, usize) {
+        (self.events.pool_slots(), self.events.live_hwm())
     }
 
     /// Snapshot aggregate statistics.
@@ -699,11 +706,13 @@ impl MemSubsystem {
 
     /// Serialize the subsystem's complete dynamic state.
     ///
-    /// The event heap is written as `(time, seq)`-sorted triples so
-    /// identical states always yield identical bytes, and the `outstanding`
-    /// map is written in sorted key order for the same reason. `seq` is
-    /// preserved exactly — event tie-breaking after a restore must match the
-    /// uninterrupted run bit for bit.
+    /// The event queue is written as `(time, seq)`-sorted triples so
+    /// identical states always yield identical bytes (the same layout the
+    /// pre-calendar heap code wrote — snapshot files are unaffected by the
+    /// queue swap), and the `outstanding` map is written in sorted key
+    /// order for the same reason. `seq` is preserved exactly — event
+    /// tie-breaking after a restore must match the uninterrupted run bit
+    /// for bit.
     pub fn save_snapshot(&self, w: &mut Writer) {
         self.l1s.save(w);
         w.put_u64(self.slices.len() as u64);
@@ -712,16 +721,7 @@ impl MemSubsystem {
             s.in_q.save(w);
         }
         self.drams.save(w);
-        let mut pending: Vec<(u64, u64, usize)> =
-            self.events.iter().map(|&Reverse(e)| e).collect();
-        pending.sort_unstable();
-        w.put_u64(pending.len() as u64);
-        for (t, s, idx) in pending {
-            w.put_u64(t);
-            w.put_u64(s);
-            self.event_pool[idx].save(w);
-        }
-        w.put_u64(self.seq);
+        self.events.save_snapshot(w);
         let mut keys: Vec<u64> = self.outstanding.keys().copied().collect();
         keys.sort_unstable();
         w.put_u64(keys.len() as u64);
@@ -755,19 +755,10 @@ impl MemSubsystem {
         if self.drams.len() != n_slices {
             return Err(CodecError::BadValue("mem subsystem DRAM channel count"));
         }
-        // Re-pack the event pool densely: entries in the file are sorted, so
-        // assigning idx = arrival position keeps the heap contents unique and
-        // the pool free of dead entries from before the checkpoint.
-        self.events.clear();
-        self.event_pool.clear();
-        let n_events = r.get_usize()?;
-        for idx in 0..n_events {
-            let t = r.get_u64()?;
-            let s = r.get_u64()?;
-            self.event_pool.push(Event::load(r)?);
-            self.events.push(Reverse((t, s, idx)));
-        }
-        self.seq = r.get_u64()?;
+        // Entries in the file are (time, seq)-sorted; the calendar queue
+        // re-packs them into fresh slab slots, dropping any allocation
+        // history from before the checkpoint.
+        self.events.restore_snapshot(r)?;
         self.outstanding.clear();
         let n_out = r.get_usize()?;
         for _ in 0..n_out {
@@ -1015,5 +1006,41 @@ mod tests {
         assert_eq!(s.loads_completed, 1);
         assert_eq!(s.load_latency_sum, t);
         assert!(s.avg_load_latency() > 100.0);
+    }
+
+    /// The slab free list bounds event-pool memory by the *live* event
+    /// high-water mark, not by the total number of events ever scheduled
+    /// — the unbounded-growth fix this PR exists for. A long kernel's
+    /// worth of traffic must not grow the pool past the live peak.
+    #[test]
+    fn event_pool_is_bounded_by_live_events_not_total_scheduled() {
+        let mut m = subsystem();
+        let mut id = 0u64;
+        for now in 0..60_000u64 {
+            m.tick(now);
+            let _ = m.drain_completions(0).count();
+            let _ = m.drain_completions(1).count();
+            // A fresh cold access every few cycles, alternating SMs and
+            // never reusing a line, so each one walks the full
+            // L1→L2→DRAM→fill event chain.
+            if now % 3 == 0 {
+                id += 1;
+                let sm = (id % 2) as u32;
+                m.begin_load(now, sm, id, 1);
+                let _ = m.access_line(now, sm, id, id * 17, false);
+            }
+        }
+        let pushed = m.queue_prof().ev_pushed;
+        let (pool_slots, live_hwm) = m.event_pool_stats();
+        assert!(pushed > 20_000, "workload too small: {pushed} events");
+        assert!(
+            pool_slots <= live_hwm,
+            "pool grew past the live high-water: {pool_slots} slots vs hwm {live_hwm}"
+        );
+        assert!(
+            (pool_slots as u64) < pushed / 50,
+            "pool ({pool_slots} slots) should be tiny next to total \
+             scheduled events ({pushed})"
+        );
     }
 }

@@ -25,6 +25,7 @@
 use crate::warp::{ExecEffect, LatClass, LaunchCtx, Warp};
 use crate::scoreboard::{Scoreboard, WriteSet};
 use crate::shared::SharedMem;
+use pro_core::calq::CalQueue;
 use pro_core::codec::{CodecError, Reader, Snapshot, Writer};
 use pro_core::{FxHashMap, IssueInfo, SchedView, TbState, WarpScheduler, WarpState};
 use pro_isa::{Instr, Kernel, PipeClass, Program, WARP_SIZE};
@@ -33,8 +34,7 @@ use pro_mem::{
     QUEUE_SAMPLE_PERIOD,
 };
 use pro_trace::{req_id, Event as TraceEvent, EventClass, Hist16, NoopTracer, StallReason, Tracer};
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::VecDeque;
 use std::sync::Arc;
 
 /// SM microarchitecture parameters (defaults: Table I / Fermi GTX480).
@@ -240,10 +240,9 @@ pub struct Sm {
     used_shared: u32,
     used_regs: u32,
     live_tbs: u32,
-    // Pipelines.
-    wb_events: BinaryHeap<Reverse<(u64, u64, usize)>>,
-    wb_pool: Vec<WbRec>,
-    wb_seq: u64,
+    // Pipelines. Writeback events ride the same slab-recycled calendar
+    // queue as the memory subsystem's timing events.
+    wb_events: CalQueue<WbRec>,
     lsu: VecDeque<LsuEntry>,
     sfu_free_at: u64,
     access_map: FxHashMap<AccessId, (usize, WriteSet)>,
@@ -297,9 +296,7 @@ impl Sm {
             used_shared: 0,
             used_regs: 0,
             live_tbs: 0,
-            wb_events: BinaryHeap::new(),
-            wb_pool: Vec::new(),
-            wb_seq: 0,
+            wb_events: CalQueue::new(),
             lsu: VecDeque::new(),
             sfu_free_at: 0,
             access_map: FxHashMap::default(),
@@ -337,7 +334,6 @@ impl Sm {
         self.warps_per_tb = kernel.launch.warps_per_block() as usize;
         self.threads_per_tb = kernel.launch.threads_per_block();
         self.wb_events.clear();
-        self.wb_pool.clear();
         self.lsu.clear();
         self.sfu_free_at = 0;
         self.access_map.clear();
@@ -509,10 +505,7 @@ impl Sm {
     }
 
     fn schedule_wb(&mut self, t: u64, rec: WbRec) {
-        let idx = self.wb_pool.len();
-        self.wb_pool.push(rec);
-        self.wb_seq += 1;
-        self.wb_events.push(Reverse((t, self.wb_seq, idx)));
+        self.wb_events.push(t, rec);
     }
 
     fn release_write(&mut self, warp: usize, ws: WriteSet, now: u64, tracer: &mut dyn Tracer) {
@@ -698,13 +691,9 @@ impl Sm {
             self.release_write(warp, ws, now, tracer);
         }
 
-        // 2. Due writebacks.
-        while let Some(&Reverse((t, _, idx))) = self.wb_events.peek() {
-            if t > now {
-                break;
-            }
-            self.wb_events.pop();
-            let rec = self.wb_pool[idx];
+        // 2. Due writebacks (popped in exact (time, seq) order; the slab
+        //    slot is recycled immediately).
+        while let Some((_, _, rec)) = self.wb_events.pop_due(now) {
             self.release_write(rec.warp, rec.ws, now, tracer);
         }
 
@@ -1174,20 +1163,11 @@ impl Sm {
         w.put_u32(self.used_shared);
         w.put_u32(self.used_regs);
         w.put_u32(self.live_tbs);
-        // Writeback events, canonically ordered by (time, seq): the pool
-        // indices are an allocation artifact, so they are re-packed densely
-        // on restore while the (time, seq) keys — which fully determine pop
-        // order — round-trip exactly.
-        let mut wbs: Vec<(u64, u64, usize)> =
-            self.wb_events.iter().map(|&Reverse(e)| e).collect();
-        wbs.sort_unstable();
-        w.put_u64(wbs.len() as u64);
-        for (t, seq, idx) in wbs {
-            w.put_u64(t);
-            w.put_u64(seq);
-            self.wb_pool[idx].save(w);
-        }
-        w.put_u64(self.wb_seq);
+        // Writeback events, canonically ordered by (time, seq): slab slots
+        // are an allocation artifact, so they are re-packed on restore
+        // while the (time, seq) keys — which fully determine pop order —
+        // round-trip exactly. Same byte layout as the pre-calendar heap.
+        self.wb_events.save_snapshot(w);
         self.lsu.save(w);
         w.put_u64(self.sfu_free_at);
         let mut accesses: Vec<(u64, (usize, WriteSet))> = self
@@ -1239,18 +1219,7 @@ impl Sm {
         self.used_shared = r.get_u32()?;
         self.used_regs = r.get_u32()?;
         self.live_tbs = r.get_u32()?;
-        self.wb_events.clear();
-        self.wb_pool.clear();
-        let n_wb = r.get_usize()?;
-        for _ in 0..n_wb {
-            let t = r.get_u64()?;
-            let seq = r.get_u64()?;
-            let rec = WbRec::load(r)?;
-            let idx = self.wb_pool.len();
-            self.wb_pool.push(rec);
-            self.wb_events.push(Reverse((t, seq, idx)));
-        }
-        self.wb_seq = r.get_u64()?;
+        self.wb_events.restore_snapshot(r)?;
         self.lsu = Snapshot::load(r)?;
         self.sfu_free_at = r.get_u64()?;
         self.access_map.clear();

@@ -94,6 +94,18 @@ cmp "$tracedir/json_serial.txt" "$tracedir/json_smw4.txt" || {
 }
 echo "ok: --jobs 4 and --sm-workers 4 match the serial engine byte-for-byte"
 
+echo "== calendar queue: output byte-identical to the pre-swap golden =="
+# The event queues run on pro_core::calq (DESIGN.md §14), which must pop
+# in exactly the (time, seq) order of the BinaryHeap it replaced. The
+# golden file was captured from the heap build immediately before the
+# swap; the serial and --sm-workers outputs above must both still match
+# it byte for byte (the cmp chain: smw4 == serial == golden).
+cmp "$tracedir/json_serial.txt" scripts/golden/repro_quick.json || {
+    echo "ERROR: repro json --quick diverged from the pre-calendar-queue golden" >&2
+    exit 1
+}
+echo "ok: calendar-queue build reproduces the heap build's bytes exactly"
+
 echo "== checkpoint/resume: recovered sweep is byte-identical =="
 # The snapshot round-trip contract (DESIGN.md §12): a sweep that
 # checkpoints every cell, and a --resume pass that recovers a "crashed"
@@ -192,5 +204,18 @@ for flag in checkpoint-path checkpoint-every checkpoint-delta checkpoint-keep \
     done
 done
 echo "ok: README.md and DESIGN.md document all checkpoint flags"
+
+echo "== docs: calendar event queue is documented =="
+for doc in README.md DESIGN.md EXPERIMENTS.md; do
+    grep -q "calq" "$doc" || {
+        echo "ERROR: pro_core::calq is not documented in $doc" >&2
+        exit 1
+    }
+done
+grep -q "calendar" ROADMAP.md || {
+    echo "ERROR: ROADMAP.md lost the calendar-queue item record" >&2
+    exit 1
+}
+echo "ok: the calendar queue is documented in README, DESIGN, EXPERIMENTS, ROADMAP"
 
 echo "== verify: all green =="

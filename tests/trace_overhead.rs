@@ -9,6 +9,11 @@
 //! * traced and untraced runs produce bit-identical statistics — the
 //!   observer does not perturb the simulation.
 //!
+//! The same counting allocator also pins the calendar event queue's
+//! steady-state contract: once the slab and wheel are warm, push/pop
+//! never touches the heap (resize and slab growth are amortized outside
+//! the per-cycle loop).
+//!
 //! The allocation counter is a wrapping `#[global_allocator]`; this file is
 //! its own test binary, so the counter sees only this test's allocations.
 
@@ -123,6 +128,43 @@ fn tracing_adds_zero_allocations() {
     assert_eq!(
         a_ring, a_noop,
         "ring-traced launch allocated beyond the preallocated buffer"
+    );
+}
+
+#[test]
+fn calendar_queue_steady_state_allocates_nothing() {
+    use pro_sim::core::calq::CalQueue;
+    let mut q: CalQueue<u64> = CalQueue::new();
+    // Warm up past the latency-pattern transient so the slab has grown to
+    // the live high-water mark and every bucket has been touched.
+    for now in 0..512u64 {
+        while q.pop_due(now).is_some() {}
+        q.push(now + 1 + (now % 90), now);
+        q.push(now + 40, now);
+    }
+    // 100k cycles of the simulator's access pattern — drain due events,
+    // schedule a couple more — recycling slots through the free list.
+    let (n, checksum) = allocs_during(|| {
+        let mut x = 0u64;
+        for now in 512..512 + 100_000u64 {
+            while let Some((_, _, v)) = q.pop_due(now) {
+                x ^= v;
+            }
+            q.push(now + 1 + (now % 90), now);
+            q.push(now + 40, now);
+        }
+        x
+    });
+    assert_eq!(
+        n, 0,
+        "steady-state calendar-queue push/pop touched the allocator {n} times"
+    );
+    assert_ne!(checksum, 0, "the loop really popped events");
+    assert!(
+        q.pool_slots() <= q.live_hwm(),
+        "slab {} slots exceeds live high-water {}",
+        q.pool_slots(),
+        q.live_hwm()
     );
 }
 
