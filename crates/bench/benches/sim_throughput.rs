@@ -103,6 +103,208 @@ fn bench_policy_order(r: &mut Runner) {
     }
 }
 
+/// The incremental issue path (DESIGN.md §15) against the eager one, per
+/// policy: an identical recorded warp-state trace — sparse issue events,
+/// long-latency block/unblock flips, progress drift at stall-heavy rates —
+/// replayed through `order()` two ways. The *scratch* flavor reorders
+/// every unit-cycle, which is what the engine did before the
+/// `order_dirty` contract; the *incremental* flavor mirrors the engine's
+/// reuse condition (policy clean + candidate set unchanged + blocked set
+/// unchanged when `order_reads_longlat`) and skips the call when it
+/// holds. Both replay the same precomputed schedule from the same seed,
+/// so the rows differ only in ordering cost.
+fn bench_issue_path(r: &mut Runner) {
+    use pro_core::rng::SplitMix64;
+
+    const UNITS: u32 = 2;
+    const WARPS: usize = 48;
+    #[derive(Clone, Copy)]
+    enum Ev {
+        /// Quiet cycle: the common stall-heavy case.
+        None,
+        /// A unit issued: cursor/greedy movement plus progress.
+        Issue { unit: u32, slot: usize },
+        /// A long-latency block or release (no policy hook — the engine
+        /// fingerprints these for `order_reads_longlat` policies).
+        Flip { slot: usize },
+    }
+    // ~1/16 of cycles issue, ~1/32 flip a blocked bit: the density the
+    // shootout's memory-bound kernels sustain in steady state.
+    let mut rng = SplitMix64::new(0x15c0_de01);
+    let schedule: Vec<Ev> = (0..BATCH)
+        .map(|_| match rng.gen_range(0u32..64) {
+            0..=3 => {
+                let unit = rng.gen_range(0u32..UNITS);
+                let slot = rng.gen_range(0usize..WARPS / 2) * 2 + unit as usize;
+                Ev::Issue { unit, slot }
+            }
+            4..=5 => Ev::Flip {
+                slot: rng.gen_range(0usize..WARPS),
+            },
+            _ => Ev::None,
+        })
+        .collect();
+
+    let base_warps: Vec<WarpState> = (0..WARPS)
+        .map(|w| WarpState {
+            active: true,
+            tb_slot: w / 6,
+            index_in_tb: (w % 6) as u32,
+            progress: (w as u64 * 37) % 911,
+            at_barrier: false,
+            finished: false,
+            blocked_on_longlat: w % 5 == 0,
+        })
+        .collect();
+    let tbs: Vec<TbState> = (0..8)
+        .map(|t| TbState {
+            occupied: true,
+            global_index: t as u32,
+            progress: (t as u64 * 131) % 1777,
+            num_warps: 6,
+            warps_at_barrier: 0,
+            warps_finished: 0,
+            launched_at: t as u64,
+        })
+        .collect();
+    // Candidates are static across the trace (no launch/finish events), so
+    // the engine's candidate-set check is vacuous here and elided.
+    let cands: Vec<Vec<usize>> = (0..UNITS as usize)
+        .map(|u| (u..WARPS).step_by(UNITS as usize).collect())
+        .collect();
+    let unit_mask = |u: usize| -> u64 {
+        cands[u].iter().fold(0u64, |m, &w| m | 1u64 << w)
+    };
+    let issue_info = pro_core::IssueInfo {
+        active_threads: 32,
+        is_global_load: false,
+    };
+
+    for kind in SchedulerKind::ALL {
+        let launch = |policy: &mut dyn pro_core::WarpScheduler, warps: &[WarpState]| {
+            let view = SchedView {
+                cycle: 0,
+                warps,
+                tbs: &tbs,
+                tbs_waiting_in_tb_scheduler: true,
+            };
+            for t in 0..8 {
+                policy.on_tb_launch(t, &view);
+            }
+        };
+
+        // Scratch flavor: order() every unit-cycle.
+        let mut warps = base_warps.clone();
+        let mut policy = kind.build(WARPS, 8, UNITS);
+        launch(policy.as_mut(), &warps);
+        let mut out = Vec::with_capacity(WARPS);
+        let mut cycle = 0u64;
+        let scratch = r.bench(&format!("issue/scratch_{}_x10k", kind.name()), || {
+            for ev in &schedule {
+                cycle += 1;
+                match *ev {
+                    Ev::None => {}
+                    Ev::Issue { unit, slot } => {
+                        warps[slot].progress += 32;
+                        let view = SchedView {
+                            cycle,
+                            warps: &warps,
+                            tbs: &tbs,
+                            tbs_waiting_in_tb_scheduler: true,
+                        };
+                        policy.on_issue(unit, slot, issue_info, &view);
+                    }
+                    Ev::Flip { slot } => {
+                        warps[slot].blocked_on_longlat = !warps[slot].blocked_on_longlat;
+                    }
+                }
+                let view = SchedView {
+                    cycle,
+                    warps: &warps,
+                    tbs: &tbs,
+                    tbs_waiting_in_tb_scheduler: true,
+                };
+                policy.begin_cycle(&view);
+                for unit in 0..UNITS {
+                    policy.order(unit, &view, &cands[unit as usize], &mut out);
+                    black_box(out.len());
+                }
+            }
+        });
+
+        // Incremental flavor: the engine's reuse condition, same trace.
+        let mut warps = base_warps.clone();
+        let mut policy = kind.build(WARPS, 8, UNITS);
+        launch(policy.as_mut(), &warps);
+        let mut longlat_mask = base_warps
+            .iter()
+            .enumerate()
+            .fold(0u64, |m, (w, ws)| m | (ws.blocked_on_longlat as u64) << w);
+        let mut cached_blocked = [0u64; UNITS as usize];
+        let mut cached_valid = [false; UNITS as usize];
+        let mut out = Vec::with_capacity(WARPS);
+        let mut cycle = 0u64;
+        let (mut reused, mut total) = (0u64, 0u64);
+        let incr = r.bench(&format!("issue/incremental_{}_x10k", kind.name()), || {
+            for ev in &schedule {
+                cycle += 1;
+                match *ev {
+                    Ev::None => {}
+                    Ev::Issue { unit, slot } => {
+                        warps[slot].progress += 32;
+                        let view = SchedView {
+                            cycle,
+                            warps: &warps,
+                            tbs: &tbs,
+                            tbs_waiting_in_tb_scheduler: true,
+                        };
+                        policy.on_issue(unit, slot, issue_info, &view);
+                    }
+                    Ev::Flip { slot } => {
+                        warps[slot].blocked_on_longlat = !warps[slot].blocked_on_longlat;
+                        longlat_mask ^= 1u64 << slot;
+                    }
+                }
+                let view = SchedView {
+                    cycle,
+                    warps: &warps,
+                    tbs: &tbs,
+                    tbs_waiting_in_tb_scheduler: true,
+                };
+                policy.begin_cycle(&view);
+                for unit in 0..UNITS {
+                    let u = unit as usize;
+                    total += 1;
+                    let blocked = longlat_mask & unit_mask(u);
+                    if cached_valid[u]
+                        && (!policy.order_reads_longlat() || cached_blocked[u] == blocked)
+                        && !policy.order_dirty(unit)
+                    {
+                        reused += 1;
+                        black_box(out.len());
+                        continue;
+                    }
+                    policy.order(unit, &view, &cands[u], &mut out);
+                    cached_blocked[u] = blocked;
+                    cached_valid[u] = true;
+                    black_box(out.len());
+                }
+            }
+        });
+        if let (Some(s), Some(i)) = (scratch, incr) {
+            println!(
+                "ISSUE replay {}: reuse {:.1}% of unit-cycles, speedup {:.2}x \
+                 (median {} -> {})",
+                kind.name(),
+                100.0 * reused as f64 / total.max(1) as f64,
+                s.median_ns as f64 / i.median_ns.max(1) as f64,
+                pro_bench::runner::human_ns(s.median_ns),
+                pro_bench::runner::human_ns(i.median_ns),
+            );
+        }
+    }
+}
+
 /// The event-queue hot path at the recorded depth profile: an identical
 /// replayed push/pop trace driven into the structure the simulator used
 /// to carry (a `BinaryHeap` of `(time, seq, idx)` keys over an
@@ -413,6 +615,7 @@ fn main() {
     bench_cache(&mut r);
     bench_event_queue(&mut r);
     bench_policy_order(&mut r);
+    bench_issue_path(&mut r);
     bench_trace_overhead(&mut r);
     bench_parallel_speedup(&mut r);
     bench_checkpoint(&mut r);

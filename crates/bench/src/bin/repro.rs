@@ -971,9 +971,9 @@ fn shootout(scale: Scale, quick: bool) {
     }
 
     println!(
-        "{:<8} {:>7} {:>6} | {:>6} {:>6} {:>6} | {:>9} {:>6} {:>6} {:>6} | {:>7} {:>7} {:>7}",
-        "Policy", "vsLRR", "IPC", "idle%", "sb%", "pipe%", "wall ms", "mem%", "issue%", "merge%",
-        "evq p50", "evq p99", "evq hwm"
+        "{:<8} {:>7} {:>6} | {:>6} {:>6} {:>6} | {:>9} {:>6} {:>6} {:>6} {:>6} | {:>7} {:>7} {:>7}",
+        "Policy", "vsLRR", "IPC", "idle%", "sb%", "pipe%", "wall ms", "mem%", "issue%", "reuse%",
+        "merge%", "evq p50", "evq p99", "evq hwm"
     );
     let mut json_rows = Vec::new();
     for row in &rows {
@@ -990,8 +990,14 @@ fn shootout(scale: Scale, quick: bool) {
             .hist("host/mem.evq.depth")
             .map_or(0, |h| h.quantile_bound(0.99));
         let vs_lrr = geomean_finite(row.vs_lrr.iter().copied());
+        // Incremental issue path (DESIGN.md §15): what fraction of
+        // unit-cycles reused last cycle's scheduler order verbatim.
+        let reused = row.host.counter("host/issue/orders_reused").unwrap_or(0);
+        let recomputed = row.host.counter("host/issue/orders_recomputed").unwrap_or(0);
+        let mask_skips = row.host.counter("host/issue/mask_skips").unwrap_or(0);
+        let reuse_pct = 100.0 * reused as f64 / (reused + recomputed).max(1) as f64;
         println!(
-            "{:<8} {:>6.3}x {:>6.2} | {:>5.1}% {:>5.1}% {:>5.1}% | {:>9.1} {:>5.1}% {:>5.1}% {:>5.1}% | {:>7} {:>7} {:>7}",
+            "{:<8} {:>6.3}x {:>6.2} | {:>5.1}% {:>5.1}% {:>5.1}% | {:>9.1} {:>5.1}% {:>5.1}% {:>5.1}% {:>5.1}% | {:>7} {:>7} {:>7}",
             row.sched.name(),
             vs_lrr,
             row.instructions as f64 / row.cycles.max(1) as f64,
@@ -1001,6 +1007,7 @@ fn shootout(scale: Scale, quick: bool) {
             wall as f64 / 1e6,
             share(phase("mem")),
             share(phase("issue")),
+            reuse_pct,
             share(phase("merge")),
             evq_p50,
             evq_p99,
@@ -1018,6 +1025,9 @@ fn shootout(scale: Scale, quick: bool) {
             ("host_mem_phase_ns", unum(phase("mem"))),
             ("host_issue_phase_ns", unum(phase("issue"))),
             ("host_merge_phase_ns", unum(phase("merge"))),
+            ("issue_orders_reused", unum(reused)),
+            ("issue_orders_recomputed", unum(recomputed)),
+            ("issue_mask_skips", unum(mask_skips)),
             ("evq_depth_p50", unum(evq_p50)),
             ("evq_depth_p99", unum(evq_p99)),
             ("evq_depth_hwm", unum(row.evq_hwm)),

@@ -63,6 +63,13 @@ pub struct ProAdaptive {
     on_score: (u64, u64),
     off_score: (u64, u64),
     started: bool,
+    /// Per-unit record of which instance produced the engine's cached
+    /// order: bit set in `driven_valid` = a record exists, matching bit in
+    /// `driven_on` = it came from the ON instance. An epoch roll that
+    /// flips the driving instance invalidates every cached order even
+    /// though neither Pro instance saw an event.
+    driven_on: u64,
+    driven_valid: u64,
 }
 
 impl ProAdaptive {
@@ -88,6 +95,8 @@ impl ProAdaptive {
             on_score: (0, 0),
             off_score: (0, 0),
             started: false,
+            driven_on: 0,
+            driven_valid: 0,
         }
     }
 
@@ -168,10 +177,32 @@ impl WarpScheduler for ProAdaptive {
         candidates: &[WarpSlot],
         out: &mut Vec<WarpSlot>,
     ) {
-        if self.active_is_on() {
+        let on = self.active_is_on();
+        if on {
             self.with_barriers.order(unit, view, candidates, out);
         } else {
             self.without_barriers.order(unit, view, candidates, out);
+        }
+        let bit = 1u64 << (unit as u64 & 63);
+        self.driven_valid |= bit;
+        if on {
+            self.driven_on |= bit;
+        } else {
+            self.driven_on &= !bit;
+        }
+    }
+
+    fn order_dirty(&mut self, unit: u32) -> bool {
+        let on = self.active_is_on();
+        let bit = 1u64 << (unit as u64 & 63);
+        let same_driver = self.driven_valid & bit != 0 && (self.driven_on & bit != 0) == on;
+        if !same_driver {
+            return true;
+        }
+        if on {
+            self.with_barriers.order_dirty(unit)
+        } else {
+            self.without_barriers.order_dirty(unit)
         }
     }
 
@@ -249,6 +280,11 @@ impl WarpScheduler for ProAdaptive {
         self.on_score = (r.get_u64()?, r.get_u64()?);
         self.off_score = (r.get_u64()?, r.get_u64()?);
         self.started = r.get_bool()?;
+        // The engine's order cache did not survive the snapshot, so the
+        // driver record is meaningless after a restore; dropping it forces
+        // the first order_dirty() per unit to answer true.
+        self.driven_on = 0;
+        self.driven_valid = 0;
         Ok(())
     }
 }
@@ -331,5 +367,36 @@ mod tests {
         // trace under mode ON should lead with TB0.
         let trace = p.tb_priority_trace(&f.view()).unwrap();
         assert_eq!(trace[0], 0);
+    }
+
+    #[test]
+    fn epoch_flip_dirties_even_without_events() {
+        let mut f = ViewFixture::grid(2, 2);
+        // Huge THRESHOLD so the periodic re-sort cannot mask the flip: the
+        // only dirt at cycle 2500 must come from the driver change itself.
+        let cfg = AdaptiveConfig {
+            base: crate::pro::ProConfig {
+                threshold: 1_000_000,
+                ..crate::pro::ProConfig::default()
+            },
+            ..AdaptiveConfig::default()
+        };
+        let mut p = ProAdaptive::new(4, 2, cfg);
+        for t in 0..2 {
+            p.on_tb_launch(t, &f.view());
+        }
+        let mut out = Vec::new();
+        f.cycle = 0;
+        p.begin_cycle(&f.view());
+        assert!(p.order_dirty(0), "no cached order yet");
+        p.order(0, &f.view(), &f.all_slots(), &mut out);
+        assert!(!p.order_dirty(0), "ON instance clean, same driver");
+        // Cross the epoch boundary: the driving instance flips to OFF.
+        f.cycle = 2500;
+        p.begin_cycle(&f.view());
+        assert!(!p.active_is_on(), "odd probe epoch drives OFF");
+        assert!(p.order_dirty(0), "driver changed → cached order invalid");
+        p.order(0, &f.view(), &f.all_slots(), &mut out);
+        assert!(!p.order_dirty(0));
     }
 }

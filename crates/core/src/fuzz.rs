@@ -47,6 +47,12 @@ impl WarpScheduler for Fuzz {
         }
     }
 
+    fn order_dirty(&mut self, _unit: u32) -> bool {
+        // Every order() call advances the PRNG, so a reused order would
+        // change the stream consumed by later calls. Must stay dirty.
+        true
+    }
+
     fn on_issue(&mut self, _unit: u32, _slot: WarpSlot, _info: IssueInfo, _view: &SchedView) {}
 }
 

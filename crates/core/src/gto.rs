@@ -10,13 +10,17 @@
 //! residency, which is where PRO wins.
 
 use crate::codec::{self, Snapshot};
-use crate::{IssueInfo, SchedView, WarpScheduler, WarpSlot};
+use crate::dirty::DirtyMask;
+use crate::{IssueInfo, SchedView, TbSlot, WarpScheduler, WarpSlot};
 
 /// Greedy-then-oldest policy.
 #[derive(Debug)]
 pub struct Gto {
     /// Per-unit: the warp currently held greedily.
     greedy: Vec<Option<WarpSlot>>,
+    /// Order inputs: the greedy head (per unit) and TB launch cycles
+    /// (all units, via `on_tb_launch`).
+    dirty: DirtyMask,
 }
 
 impl Gto {
@@ -24,6 +28,7 @@ impl Gto {
     pub fn new(units: u32) -> Self {
         Gto {
             greedy: vec![None; units as usize],
+            dirty: DirtyMask::all(),
         }
     }
 }
@@ -40,6 +45,7 @@ impl WarpScheduler for Gto {
         candidates: &[WarpSlot],
         out: &mut Vec<WarpSlot>,
     ) {
+        self.dirty.clear(unit);
         out.clear();
         out.extend_from_slice(candidates);
         // Oldest first: (TB launch cycle, slot index).
@@ -55,24 +61,41 @@ impl WarpScheduler for Gto {
         }
     }
 
+    fn order_dirty(&mut self, unit: u32) -> bool {
+        self.dirty.is_dirty(unit)
+    }
+
     fn on_issue(&mut self, unit: u32, slot: WarpSlot, _info: IssueInfo, _view: &SchedView) {
-        self.greedy[unit as usize] = Some(slot);
+        let u = unit as usize;
+        if self.greedy[u] != Some(slot) {
+            self.greedy[u] = Some(slot);
+            self.dirty.mark(unit);
+        }
     }
 
     fn on_warp_finish(&mut self, slot: WarpSlot, _tb: usize, _view: &SchedView) {
-        for g in &mut self.greedy {
+        for (u, g) in self.greedy.iter_mut().enumerate() {
             if *g == Some(slot) {
                 *g = None;
+                self.dirty.mark(u as u32);
             }
         }
     }
 
+    fn on_tb_launch(&mut self, _tb: TbSlot, _view: &SchedView) {
+        // A launch writes a fresh `launched_at` into a TB slot, which is
+        // every unit's primary sort key.
+        self.dirty.mark_all();
+    }
+
     fn save_state(&self, w: &mut codec::Writer) {
         self.greedy.save(w);
+        self.dirty.save(w);
     }
 
     fn load_state(&mut self, r: &mut codec::Reader<'_>) -> Result<(), codec::CodecError> {
         self.greedy = Snapshot::load(r)?;
+        self.dirty = Snapshot::load(r)?;
         Ok(())
     }
 }
@@ -154,5 +177,28 @@ mod tests {
         assert_eq!(out, vec![2, 0]);
         s.order(1, &f.view(), &[1, 3], &mut out);
         assert_eq!(out, vec![1, 3]);
+    }
+
+    #[test]
+    fn dirty_tracks_greedy_changes_and_tb_launches() {
+        let f = ViewFixture::grid(2, 2);
+        let mut s = Gto::new(2);
+        let mut out = Vec::new();
+        s.order(0, &f.view(), &[0, 2], &mut out);
+        assert!(!s.order_dirty(0));
+        // Greedily re-issuing the same warp changes nothing.
+        s.on_issue(0, 2, info(), &f.view());
+        assert!(s.order_dirty(0), "new greedy head");
+        s.order(0, &f.view(), &[0, 2], &mut out);
+        s.on_issue(0, 2, info(), &f.view());
+        assert!(!s.order_dirty(0), "same greedy head stays clean");
+        // The greedy warp finishing resets that unit only.
+        s.order(1, &f.view(), &[1, 3], &mut out);
+        s.on_warp_finish(2, 1, &f.view());
+        assert!(s.order_dirty(0) && !s.order_dirty(1));
+        // A TB launch rewrites a launch cycle: every unit's key changes.
+        s.order(0, &f.view(), &[0, 2], &mut out);
+        s.on_tb_launch(0, &f.view());
+        assert!(s.order_dirty(0) && s.order_dirty(1));
     }
 }

@@ -38,6 +38,7 @@ pub mod adaptive;
 pub mod bdelta;
 pub mod calq;
 pub mod codec;
+pub mod dirty;
 pub mod fuzz;
 pub mod fxhash;
 pub mod gto;
@@ -163,6 +164,35 @@ pub trait WarpScheduler: Send {
         candidates: &[WarpSlot],
         out: &mut Vec<WarpSlot>,
     );
+
+    /// Would a fresh [`WarpScheduler::order`] call for `unit` possibly
+    /// return a different permutation than the previous one?
+    ///
+    /// The engine caches each unit's last order and, when this returns
+    /// `false` **and** the candidate set is unchanged (plus, for policies
+    /// where [`WarpScheduler::order_reads_longlat`] is true, the
+    /// long-latency blocked set is unchanged), reuses it verbatim without
+    /// calling `order()` at all. The contract is one-sided: returning
+    /// `true` is always safe (the engine falls back to a from-scratch
+    /// recompute, which is also the default), while returning `false`
+    /// promises that a recompute under those unchanged inputs would be a
+    /// no-op — both for the returned permutation and for any internal
+    /// state `order()` mutates. Policies clear their dirty state for
+    /// `unit` inside `order()`; the engine may still call `order()` while
+    /// clean (e.g. after a snapshot restore drops its cache), which must
+    /// then reproduce the cached permutation exactly.
+    fn order_dirty(&mut self, _unit: u32) -> bool {
+        true
+    }
+
+    /// Does [`WarpScheduler::order`] consult
+    /// [`WarpState::blocked_on_longlat`]? The engine flips those flags on
+    /// memory writebacks without a policy hook, so policies that read them
+    /// (two-level's demotion logic) return `true` here and the engine adds
+    /// the unit's blocked-warp set to its order-reuse fingerprint.
+    fn order_reads_longlat(&self) -> bool {
+        false
+    }
 
     /// A warp issued an instruction.
     fn on_issue(&mut self, _unit: u32, _slot: WarpSlot, _info: IssueInfo, _view: &SchedView) {}

@@ -9,6 +9,7 @@
 //! together — is a direct consequence of this rotation.
 
 use crate::codec::{self, Snapshot};
+use crate::dirty::DirtyMask;
 use crate::{IssueInfo, SchedView, WarpScheduler, WarpSlot};
 
 /// Loose round-robin policy.
@@ -17,6 +18,8 @@ pub struct Lrr {
     max_warps: usize,
     /// Per-unit: slot after which the rotation starts.
     last_issued: Vec<usize>,
+    /// A unit's order only changes when its rotation cursor moves.
+    dirty: DirtyMask,
 }
 
 impl Lrr {
@@ -25,6 +28,7 @@ impl Lrr {
         Lrr {
             max_warps,
             last_issued: vec![max_warps.saturating_sub(1); units as usize],
+            dirty: DirtyMask::all(),
         }
     }
 }
@@ -41,27 +45,36 @@ impl WarpScheduler for Lrr {
         candidates: &[WarpSlot],
         out: &mut Vec<WarpSlot>,
     ) {
+        self.dirty.clear(unit);
         out.clear();
         out.extend_from_slice(candidates);
-        let start = (self.last_issued[unit as usize] + 1) % self.max_warps.max(1);
+        let m = self.max_warps.max(1);
+        let start = (self.last_issued[unit as usize] + 1) % m;
         // Rotate so the first candidate ≥ start comes first (round robin
         // over the fixed slot numbering, skipping empty slots).
-        out.sort_by_key(|&w| {
-            
-            (w + self.max_warps - start) % self.max_warps
-        });
+        out.sort_by_key(|&w| (w + m - start) % m);
+    }
+
+    fn order_dirty(&mut self, unit: u32) -> bool {
+        self.dirty.is_dirty(unit)
     }
 
     fn on_issue(&mut self, unit: u32, slot: WarpSlot, _info: IssueInfo, _view: &SchedView) {
-        self.last_issued[unit as usize] = slot;
+        let u = unit as usize;
+        if self.last_issued[u] != slot {
+            self.last_issued[u] = slot;
+            self.dirty.mark(unit);
+        }
     }
 
     fn save_state(&self, w: &mut codec::Writer) {
         self.last_issued.save(w);
+        self.dirty.save(w);
     }
 
     fn load_state(&mut self, r: &mut codec::Reader<'_>) -> Result<(), codec::CodecError> {
         self.last_issued = Snapshot::load(r)?;
+        self.dirty = Snapshot::load(r)?;
         Ok(())
     }
 }
@@ -135,5 +148,35 @@ mod tests {
         sorted.sort_unstable();
         assert_eq!(sorted, cands);
         assert_eq!(out[0], 5, "first candidate after the issued slot");
+    }
+
+    #[test]
+    fn order_clears_dirty_until_the_cursor_moves() {
+        let f = ViewFixture::grid(2, 3);
+        let mut s = Lrr::new(6, 2);
+        let mut out = Vec::new();
+        assert!(s.order_dirty(0) && s.order_dirty(1), "initially dirty");
+        s.order(0, &f.view(), &[0, 2, 4], &mut out);
+        assert!(!s.order_dirty(0), "clean after recompute");
+        assert!(s.order_dirty(1), "other unit untouched");
+        // Re-issuing the warp the cursor already points at is a no-op.
+        s.on_issue(0, 2, info(), &f.view());
+        assert!(s.order_dirty(0));
+        s.order(0, &f.view(), &[0, 2, 4], &mut out);
+        s.on_issue(0, 2, info(), &f.view());
+        assert!(!s.order_dirty(0), "same cursor position stays clean");
+        s.on_issue(0, 4, info(), &f.view());
+        assert!(s.order_dirty(0), "cursor moved");
+    }
+
+    #[test]
+    fn zero_max_warps_does_not_panic() {
+        // The modulus guard must be consistent between `start` and the
+        // sort key (a raw `% 0` would panic on any candidate).
+        let f = ViewFixture::grid(1, 1);
+        let mut s = Lrr::new(0, 1);
+        let mut out = Vec::new();
+        s.order(0, &f.view(), &[], &mut out);
+        assert!(out.is_empty());
     }
 }

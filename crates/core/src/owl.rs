@@ -13,7 +13,8 @@
 //! PRO (dynamic progress-based structure).
 
 use crate::codec::{self, Snapshot};
-use crate::{IssueInfo, SchedView, WarpScheduler, WarpSlot};
+use crate::dirty::DirtyMask;
+use crate::{IssueInfo, SchedView, TbSlot, WarpScheduler, WarpSlot};
 
 /// CTA-priority policy.
 #[derive(Debug)]
@@ -21,6 +22,9 @@ pub struct OwlLite {
     group_size: usize,
     /// Per-unit rotation cursor within the priority group.
     last_issued: Vec<Option<WarpSlot>>,
+    /// Order inputs: the rotation cursor (per unit) and the occupied-TB
+    /// launch ranking (all units, via TB launch/finish).
+    dirty: DirtyMask,
 }
 
 impl OwlLite {
@@ -29,6 +33,7 @@ impl OwlLite {
         OwlLite {
             group_size: group_size.max(1),
             last_issued: vec![None; units as usize],
+            dirty: DirtyMask::all(),
         }
     }
 }
@@ -45,6 +50,7 @@ impl WarpScheduler for OwlLite {
         candidates: &[WarpSlot],
         out: &mut Vec<WarpSlot>,
     ) {
+        self.dirty.clear(unit);
         out.clear();
         out.extend_from_slice(candidates);
         // Rank TBs by launch time; the oldest `group_size` resident TBs are
@@ -85,24 +91,45 @@ impl WarpScheduler for OwlLite {
         }
     }
 
+    fn order_dirty(&mut self, unit: u32) -> bool {
+        self.dirty.is_dirty(unit)
+    }
+
     fn on_issue(&mut self, unit: u32, slot: WarpSlot, _info: IssueInfo, _view: &SchedView) {
-        self.last_issued[unit as usize] = Some(slot);
+        let u = unit as usize;
+        if self.last_issued[u] != Some(slot) {
+            self.last_issued[u] = Some(slot);
+            self.dirty.mark(unit);
+        }
     }
 
     fn on_warp_finish(&mut self, slot: WarpSlot, _tb: usize, _view: &SchedView) {
-        for l in &mut self.last_issued {
+        for (u, l) in self.last_issued.iter_mut().enumerate() {
             if *l == Some(slot) {
                 *l = None;
+                self.dirty.mark(u as u32);
             }
         }
     }
 
+    fn on_tb_launch(&mut self, _tb: TbSlot, _view: &SchedView) {
+        self.dirty.mark_all();
+    }
+
+    fn on_tb_finish(&mut self, _tb: TbSlot, _view: &SchedView) {
+        // Freeing a slot shifts the launch-order rank of every younger TB,
+        // which can move warps across the priority-band boundary.
+        self.dirty.mark_all();
+    }
+
     fn save_state(&self, w: &mut codec::Writer) {
         self.last_issued.save(w);
+        self.dirty.save(w);
     }
 
     fn load_state(&mut self, r: &mut codec::Reader<'_>) -> Result<(), codec::CodecError> {
         self.last_issued = Snapshot::load(r)?;
+        self.dirty = Snapshot::load(r)?;
         Ok(())
     }
 }
@@ -156,5 +183,29 @@ mod tests {
         let mut sorted = out.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, cands);
+    }
+
+    #[test]
+    fn dirty_tracks_cursor_and_tb_residency() {
+        let f = ViewFixture::grid(2, 2);
+        let mut s = OwlLite::new(2, 1);
+        let mut out = Vec::new();
+        s.order(0, &f.view(), &[0, 2], &mut out);
+        s.order(1, &f.view(), &[1, 3], &mut out);
+        assert!(!s.order_dirty(0) && !s.order_dirty(1));
+        s.on_issue(
+            0,
+            0,
+            IssueInfo {
+                active_threads: 32,
+                is_global_load: false,
+            },
+            &f.view(),
+        );
+        assert!(s.order_dirty(0) && !s.order_dirty(1), "cursor is per unit");
+        // Residency changes re-rank every TB for every unit.
+        s.order(0, &f.view(), &[0, 2], &mut out);
+        s.on_tb_finish(1, &f.view());
+        assert!(s.order_dirty(0) && s.order_dirty(1));
     }
 }

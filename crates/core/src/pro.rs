@@ -41,6 +41,7 @@
 //! progress. We follow the prose; see DESIGN.md §4.
 
 use crate::codec::{self, CodecError, Snapshot};
+use crate::dirty::DirtyMask;
 use crate::{IssueInfo, SchedView, TbSlot, WarpScheduler, WarpSlot};
 
 /// Tunables and ablation switches for [`Pro`].
@@ -103,11 +104,23 @@ pub struct Pro {
     rem_order: Vec<TbSlot>,
     /// Cached warp priority order per TB slot.
     warp_order: Vec<Vec<WarpSlot>>,
-    /// Issue-priority rank per warp slot, rebuilt each cycle.
+    /// Issue-priority rank per warp slot, rebuilt when dirty.
     rank: Vec<u32>,
     last_sort_cycle: u64,
     in_slow_phase: bool,
     scratch: Vec<WarpSlot>,
+    /// Set by every mutation of the rank inputs (the three priority lists,
+    /// the cached warp orders, warp finished flags) — i.e. the event hooks,
+    /// the THRESHOLD re-sort and the fast→slow transition. `on_issue` is
+    /// deliberately not one of them: progress changes sit unseen until the
+    /// next re-sort, which is the paper's own staleness window. The mask is
+    /// unit-agnostic on set (PRO's order ignores `unit`) but cleared per
+    /// unit as each unit's cached order is refreshed.
+    dirty: DirtyMask,
+    /// Companion to `dirty` for the rank table itself: set by the same
+    /// mutations, cleared once `rebuild_ranks` runs (the per-unit bits
+    /// outlive that point until each unit's order is recomputed).
+    needs_rank_rebuild: bool,
 }
 
 impl TbClass {
@@ -168,7 +181,15 @@ impl Pro {
             last_sort_cycle: 0,
             in_slow_phase: false,
             scratch: Vec::with_capacity(max_warps),
+            dirty: DirtyMask::all(),
+            needs_rank_rebuild: true,
         }
+    }
+
+    /// Mark every unit's order — and the rank table — as stale.
+    fn mark_dirty(&mut self) {
+        self.dirty.mark_all();
+        self.needs_rank_rebuild = true;
     }
 
     /// Current classification of a TB slot (test observability).
@@ -270,6 +291,7 @@ impl Pro {
 
     /// The fast→slow transition (Algorithm 1, `scheduleWarps` lines 36-40).
     fn transition_to_slow(&mut self, view: &SchedView) {
+        self.mark_dirty();
         self.in_slow_phase = true;
         // mergeFinishAndNoWaitTBs: finishWait and noWait → finishNoWait.
         for t in 0..self.class.len() {
@@ -329,6 +351,7 @@ impl WarpScheduler for Pro {
         }
         // Periodic re-sort of the remaining TBs and their warps.
         if view.cycle.saturating_sub(self.last_sort_cycle) >= self.cfg.threshold {
+            self.mark_dirty();
             self.last_sort_cycle = view.cycle;
             self.sort_rem_order(view);
             let dir = self.rem_dir();
@@ -337,20 +360,41 @@ impl WarpScheduler for Pro {
                 self.sort_warps_of(t, dir, view);
             }
         }
-        self.rebuild_ranks(view);
+        // The rank table is a pure function of the priority lists, the
+        // cached warp orders and the finished flags — all of which only
+        // move through paths that mark the dirty mask. A clean cycle can
+        // keep last cycle's table (and the engine keeps last cycle's
+        // order), which removes PRO's whole per-cycle O(W) walk.
+        if self.needs_rank_rebuild {
+            self.rebuild_ranks(view);
+            self.needs_rank_rebuild = false;
+        }
     }
 
     fn order(
         &mut self,
-        _unit: u32,
+        unit: u32,
         _view: &SchedView,
         candidates: &[WarpSlot],
         out: &mut Vec<WarpSlot>,
     ) {
+        // Only report clean when this order was computed from a *current*
+        // rank table. If an event between sibling units this cycle queued a
+        // rebuild, the permutation below is deliberately stale (ranks only
+        // refresh at `begin_cycle`, as in the eager implementation) — but a
+        // recompute next cycle would see the rebuilt table, so the unit
+        // must stay dirty.
+        if !self.needs_rank_rebuild {
+            self.dirty.clear(unit);
+        }
         out.clear();
         out.extend_from_slice(candidates);
         let rank = &self.rank;
         out.sort_by_key(|&w| (rank[w], w));
+    }
+
+    fn order_dirty(&mut self, unit: u32) -> bool {
+        self.dirty.is_dirty(unit)
     }
 
     fn on_issue(&mut self, _unit: u32, _slot: WarpSlot, _info: IssueInfo, _view: &SchedView) {
@@ -359,8 +403,11 @@ impl WarpScheduler for Pro {
 
     fn on_barrier_arrive(&mut self, _slot: WarpSlot, tb: TbSlot, view: &SchedView) {
         if !self.cfg.handle_barriers {
+            // PRO-NB: barrier traffic is invisible — no state touched, so
+            // the cached orders stay valid.
             return;
         }
+        self.mark_dirty();
         // insertBarrierWarp (the SM has already incremented warps_at_barrier).
         if view.tbs[tb].warps_at_barrier == 1 {
             let entering = match self.class[tb] {
@@ -384,6 +431,7 @@ impl WarpScheduler for Pro {
         if !self.cfg.handle_barriers {
             return;
         }
+        self.mark_dirty();
         match self.class[tb] {
             TbClass::BarrierWait => {
                 self.bar_order.retain(|&t| t != tb);
@@ -409,6 +457,9 @@ impl WarpScheduler for Pro {
     }
 
     fn on_warp_finish(&mut self, _slot: WarpSlot, tb: TbSlot, view: &SchedView) {
+        // Unconditional even under the ablations: `rebuild_ranks` skips
+        // finished warps, so any finish shifts every later warp's rank.
+        self.mark_dirty();
         // insertFinishWarp (the SM has already incremented warps_finished).
         let tbs = &view.tbs[tb];
         if tbs.warps_finished == tbs.num_warps {
@@ -435,6 +486,7 @@ impl WarpScheduler for Pro {
     }
 
     fn on_tb_launch(&mut self, tb: TbSlot, view: &SchedView) {
+        self.mark_dirty();
         self.class[tb] = if self.cfg.use_slow_phase && self.in_slow_phase {
             TbClass::FinishNoWait
         } else {
@@ -454,6 +506,7 @@ impl WarpScheduler for Pro {
     }
 
     fn on_tb_finish(&mut self, tb: TbSlot, _view: &SchedView) {
+        self.mark_dirty();
         self.class[tb] = TbClass::Empty;
         self.remove_everywhere(tb);
         self.warp_order[tb].clear();
@@ -503,6 +556,13 @@ impl WarpScheduler for Pro {
         }
         self.last_sort_cycle = r.get_u64()?;
         self.in_slow_phase = r.get_bool()?;
+        // `rank` was not serialized (it is derived state), so a restored
+        // policy must start fully dirty: the first `begin_cycle` rebuilds
+        // the table from the restored lists, and the engine — whose order
+        // cache was dropped by the same restore — recomputes each unit's
+        // permutation from it, reproducing the donor run bit for bit.
+        self.dirty = DirtyMask::all();
+        self.needs_rank_rebuild = true;
         Ok(())
     }
 }

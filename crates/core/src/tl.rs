@@ -11,6 +11,7 @@
 //! PRO generalizes with per-TB/per-warp progress priorities.
 
 use crate::codec::{self, Snapshot};
+use crate::dirty::DirtyMask;
 use crate::{IssueInfo, SchedView, WarpScheduler, WarpSlot};
 use std::collections::VecDeque;
 
@@ -27,6 +28,12 @@ pub struct TwoLevel {
     units: Vec<UnitState>,
     /// Maximum active-set size (GPGPU-Sim default 8).
     active_size: usize,
+    /// TL's `order()` mutates its queues (rebalance), so a unit may only
+    /// report clean when that rebalance is provably a fixpoint: no active
+    /// warp blocked and no free active slot a pending warp could take.
+    /// Blocked-flag changes are covered by `order_reads_longlat` — the
+    /// engine refuses to reuse when the unit's blocked set moved.
+    dirty: DirtyMask,
 }
 
 impl TwoLevel {
@@ -41,6 +48,7 @@ impl TwoLevel {
                 })
                 .collect(),
             active_size,
+            dirty: DirtyMask::all(),
         }
     }
 
@@ -110,6 +118,19 @@ impl WarpScheduler for TwoLevel {
     ) {
         self.rebalance(unit, view, candidates);
         let u = &self.units[unit as usize];
+        // Clean only at a rebalance fixpoint: with unchanged candidates and
+        // blocked flags, every loop in `rebalance` would be a no-op, so the
+        // queues — and therefore the emitted order — cannot drift. The
+        // degenerate everything-blocked case (actives filled from the
+        // "blocked anyway" tail) rotates the queues each call and must
+        // stay dirty.
+        let stable = u.active.iter().all(|&w| !view.warps[w].blocked_on_longlat)
+            && (u.active.len() == self.active_size || u.pending.is_empty());
+        if stable {
+            self.dirty.clear(unit);
+        } else {
+            self.dirty.mark(unit);
+        }
         out.clear();
         // Round robin within the active set, starting after last issued.
         let n = u.active.len();
@@ -131,8 +152,17 @@ impl WarpScheduler for TwoLevel {
         out.extend(u.pending.iter().copied());
     }
 
+    fn order_dirty(&mut self, unit: u32) -> bool {
+        self.dirty.is_dirty(unit)
+    }
+
+    fn order_reads_longlat(&self) -> bool {
+        true
+    }
+
     fn on_issue(&mut self, unit: u32, slot: WarpSlot, info: IssueInfo, _view: &SchedView) {
         let u = &mut self.units[unit as usize];
+        self.dirty.mark(unit);
         u.last_issued = Some(slot);
         if info.is_global_load {
             // The warp will block shortly; demote it eagerly so the unit
@@ -145,6 +175,7 @@ impl WarpScheduler for TwoLevel {
     }
 
     fn on_warp_finish(&mut self, slot: WarpSlot, _tb: usize, _view: &SchedView) {
+        self.dirty.mark_all();
         for u in &mut self.units {
             u.active.retain(|&w| w != slot);
             u.pending.retain(|&w| w != slot);
@@ -161,6 +192,7 @@ impl WarpScheduler for TwoLevel {
             u.pending.save(w);
             u.last_issued.save(w);
         }
+        self.dirty.save(w);
     }
 
     fn load_state(&mut self, r: &mut codec::Reader<'_>) -> Result<(), codec::CodecError> {
@@ -173,6 +205,7 @@ impl WarpScheduler for TwoLevel {
             u.pending = Snapshot::load(r)?;
             u.last_issued = Snapshot::load(r)?;
         }
+        self.dirty = Snapshot::load(r)?;
         Ok(())
     }
 }
@@ -259,6 +292,44 @@ mod tests {
         s.order(0, &f.view(), &[1, 2, 3], &mut out);
         assert!(!out.contains(&0));
         assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn stable_active_set_reports_clean() {
+        let f = ViewFixture::grid(4, 4); // 16 warps, active set of 8
+        let mut s = TwoLevel::new(1, 8);
+        let mut out = Vec::new();
+        assert!(s.order_dirty(0), "initially dirty");
+        s.order(0, &f.view(), &f.all_slots(), &mut out);
+        assert!(!s.order_dirty(0), "full unblocked active set is a fixpoint");
+        s.on_issue(
+            0,
+            0,
+            IssueInfo {
+                active_threads: 32,
+                is_global_load: false,
+            },
+            &f.view(),
+        );
+        assert!(s.order_dirty(0), "rotation moved");
+    }
+
+    #[test]
+    fn degenerate_all_blocked_state_stays_dirty() {
+        // With every warp blocked the rebalance rotates blocked warps
+        // through the active set on each call — never a fixpoint, so the
+        // unit must keep recomputing.
+        let mut f = ViewFixture::grid(1, 4);
+        for w in &mut f.warps {
+            w.blocked_on_longlat = true;
+        }
+        let mut s = TwoLevel::new(1, 2);
+        let mut out = Vec::new();
+        s.order(0, &f.view(), &f.all_slots(), &mut out);
+        assert!(s.order_dirty(0));
+        let first = out.clone();
+        s.order(0, &f.view(), &f.all_slots(), &mut out);
+        assert_ne!(first, out, "the degenerate state really does rotate");
     }
 
     #[test]

@@ -29,7 +29,7 @@ use pro_mem::{GlobalMem, MemConfig, MemSubsystem};
 use pro_sm::{Sm, SmConfig, SmStats, TickReport};
 use pro_trace::{
     mask_of, BufferTracer, Event as TraceEvent, EventClass, Hist16, HostPhase, HostProf,
-    NoopTracer, Tracer, WorkerProf,
+    IssueProf, NoopTracer, Tracer, WorkerProf,
 };
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -1109,6 +1109,12 @@ impl Gpu {
             }
             result.metrics.set_counter("host/sm.lsuq.hwm", lsu_hwm);
             result.metrics.set_hist("host/sm.lsuq.depth", lsu_depth);
+            let mut issue = IssueProf::default();
+            for sm in &self.sms {
+                let (reused, recomputed, skips) = sm.issue_prof();
+                issue.add(reused, recomputed, skips);
+            }
+            issue.publish(&mut result.metrics);
             result
                 .metrics
                 .set_counter("host/wall.ns", wall_start.elapsed().as_nanos() as u64);

@@ -84,12 +84,14 @@ impl Scoreboard {
     }
 
     /// Can `instr` issue (no pending conflict)?
+    #[inline]
     pub fn ready(&self, instr: &Instr) -> bool {
         let h = Self::hazard_set(instr);
         (h.regs & self.pending_regs) == 0 && (h.preds & self.pending_preds) == 0
     }
 
     /// Reserve destinations at issue. `longlat` marks global-load dests.
+    #[inline]
     pub fn reserve(&mut self, ws: WriteSet, longlat: bool) {
         debug_assert_eq!(
             ws.regs & self.pending_regs,
@@ -104,6 +106,13 @@ impl Scoreboard {
     }
 
     /// Release destinations at writeback.
+    ///
+    /// The *only* operation that clears pending bits — which is what makes
+    /// the SM's scoreboard-wait memo (`Sm::sb_wait_mask`, DESIGN.md §15)
+    /// sound: a warp refused by [`Scoreboard::ready`] stays refused until
+    /// the SM's `release_write` path reaches this call, and that single
+    /// choke point also clears the warp's memo bit.
+    #[inline]
     pub fn release(&mut self, ws: WriteSet) {
         self.pending_regs &= !ws.regs;
         self.pending_preds &= !ws.preds;
@@ -111,6 +120,7 @@ impl Scoreboard {
     }
 
     /// Any pending write at all?
+    #[inline]
     pub fn any_pending(&self) -> bool {
         self.pending_regs != 0 || self.pending_preds != 0
     }

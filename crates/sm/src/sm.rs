@@ -257,10 +257,49 @@ pub struct Sm {
     /// Cumulative statistics (reset by the GPU at kernel boundaries).
     pub stats: SmStats,
     // Scratch.
-    order_buf: Vec<usize>,
     cand_buf: Vec<usize>,
     lines_buf: Vec<u64>,
     completion_buf: Vec<AccessId>,
+    // --- Incremental issue path (DESIGN.md §15). All of this is *derived*
+    // state: maintained at the few events that can change it, rebuilt from
+    // the architectural state on restore, and never serialized. ---
+    /// Bit `w` set iff warp slot `w` is an issue candidate (launched and
+    /// not finished). Per-unit candidate sets are `cands_mask &
+    /// unit_masks[u]`.
+    cands_mask: u64,
+    /// Static slot→unit membership: bit `w` of `unit_masks[u]` set iff
+    /// `w % units == u`. Computed once at construction.
+    unit_masks: Vec<u64>,
+    /// Bit `w` set iff warp `w` is valid, not parked at a barrier, and not
+    /// finished — exactly the warps the issue walk would not silently skip.
+    eligible_mask: u64,
+    /// Per-slot mirror of [`Warp::ibuf_ready_at`] so the walk can skip
+    /// still-fetching warps without loading the `Warp`.
+    ibuf_at: Vec<u64>,
+    /// Memoized "scoreboard said no" outcomes: bit `w` set when the walk
+    /// reached warp `w`, fetched its instruction, and the scoreboard (or
+    /// the Exit/Bar drain rule) refused it. The warp's pc, SIMT stack and
+    /// scoreboard are frozen until a writeback releases registers —
+    /// [`Sm::release_write`] is the single unblock point and clears the
+    /// bit — so skipping the warp (while still counting it as `saw_valid`)
+    /// is bit-identical to re-evaluating it.
+    sb_wait_mask: u64,
+    /// Bit `w` set iff `sched_warps[w].blocked_on_longlat` — the
+    /// fingerprint consulted when a policy's `order()` reads blocked flags
+    /// (`order_reads_longlat`, e.g. TL).
+    longlat_mask: u64,
+    /// Per-unit cached `order()` output plus the inputs it was computed
+    /// under; reused verbatim while the policy reports clean and the
+    /// inputs are unchanged.
+    order_bufs: Vec<Vec<usize>>,
+    cached_cands: Vec<u64>,
+    cached_blocked: Vec<u64>,
+    cached_valid: Vec<bool>,
+    // Host-only issue-path counters (outside the determinism/checkpoint
+    // boundary, published as `host/issue/*`).
+    issue_orders_reused: u64,
+    issue_orders_recomputed: u64,
+    issue_mask_skips: u64,
     // Host-observability LSU queue gauge, sampled every
     // `QUEUE_SAMPLE_PERIOD` cycles; never serialized (outside the
     // determinism/checkpoint boundary, published as `host/sm.lsuq.*`).
@@ -280,6 +319,14 @@ impl std::fmt::Debug for Sm {
 impl Sm {
     /// Create an idle SM.
     pub fn new(id: u32, cfg: SmConfig) -> Self {
+        assert!(
+            cfg.max_warps <= 64,
+            "the incremental issue path packs warp slots into u64 bitsets"
+        );
+        let mut unit_masks = vec![0u64; cfg.units.max(1) as usize];
+        for w in 0..cfg.max_warps {
+            unit_masks[w % cfg.units.max(1) as usize] |= 1u64 << w;
+        }
         Sm {
             id,
             warps: (0..cfg.max_warps).map(|_| Warp::empty()).collect(),
@@ -305,10 +352,24 @@ impl Sm {
             store_log: StoreLog::default(),
             first_warp_finish: vec![None; cfg.max_tbs],
             stats: SmStats::default(),
-            order_buf: Vec::with_capacity(cfg.max_warps),
             cand_buf: Vec::with_capacity(cfg.max_warps),
             lines_buf: Vec::with_capacity(32),
             completion_buf: Vec::with_capacity(32),
+            cands_mask: 0,
+            unit_masks,
+            eligible_mask: 0,
+            ibuf_at: vec![0; cfg.max_warps],
+            sb_wait_mask: 0,
+            longlat_mask: 0,
+            order_bufs: (0..cfg.units)
+                .map(|_| Vec::with_capacity(cfg.max_warps))
+                .collect(),
+            cached_cands: vec![0; cfg.units as usize],
+            cached_blocked: vec![0; cfg.units as usize],
+            cached_valid: vec![false; cfg.units as usize],
+            issue_orders_reused: 0,
+            issue_orders_recomputed: 0,
+            issue_mask_skips: 0,
             lsu_hwm: 0,
             lsu_depth: Hist16::new(),
             cfg,
@@ -340,8 +401,46 @@ impl Sm {
         self.load_intents.clear();
         self.store_log.clear();
         self.completion_buf.clear();
+        self.reset_issue_path();
         self.lsu_hwm = 0;
         self.lsu_depth = Hist16::new();
+        self.issue_orders_reused = 0;
+        self.issue_orders_recomputed = 0;
+        self.issue_mask_skips = 0;
+    }
+
+    /// Drop all incremental issue-path state: empty masks (the SM is
+    /// quiescent or about to be rebuilt) and invalidated order caches.
+    fn reset_issue_path(&mut self) {
+        self.cands_mask = 0;
+        self.eligible_mask = 0;
+        self.sb_wait_mask = 0;
+        self.longlat_mask = 0;
+        self.ibuf_at.fill(0);
+        self.cached_valid.fill(false);
+    }
+
+    /// Recompute the candidate/eligible/blocked masks and the ibuf mirror
+    /// from the architectural warp state (after a snapshot restore). The
+    /// scoreboard-wait memo restarts empty and the order caches invalid —
+    /// both are one-sided, so the first post-restore cycle recomputes
+    /// exactly what the pre-snapshot engine would have.
+    fn rebuild_issue_masks(&mut self) {
+        self.reset_issue_path();
+        for w in 0..self.cfg.max_warps {
+            let bit = 1u64 << w;
+            if self.sched_warps[w].active && !self.sched_warps[w].finished {
+                self.cands_mask |= bit;
+            }
+            if self.sched_warps[w].blocked_on_longlat {
+                self.longlat_mask |= bit;
+            }
+            let warp = &self.warps[w];
+            if warp.valid && !warp.at_barrier && !warp.finished {
+                self.eligible_mask |= bit;
+            }
+            self.ibuf_at[w] = warp.ibuf_ready_at;
+        }
     }
 
     /// Number of TB slots usable for the bound kernel (bounded by warp
@@ -450,6 +549,12 @@ impl Sm {
                 finished: false,
                 blocked_on_longlat: false,
             };
+            let bit = 1u64 << w;
+            self.cands_mask |= bit;
+            self.eligible_mask |= bit;
+            self.sb_wait_mask &= !bit;
+            self.longlat_mask &= !bit;
+            self.ibuf_at[w] = self.warps[w].ibuf_ready_at;
         }
         self.shared[slot] = SharedMem::new(program.shared_bytes);
         self.sched_tbs[slot] = TbState {
@@ -504,14 +609,35 @@ impl Sm {
         (self.lsu_hwm, &self.lsu_depth)
     }
 
+    /// Host-side issue-path counters: `(orders reused, orders recomputed,
+    /// ready-mask skips)`. Like [`Sm::lsu_prof`], host observability only —
+    /// never serialized, excluded from determinism comparisons (published
+    /// as `host/issue/*`).
+    pub fn issue_prof(&self) -> (u64, u64, u64) {
+        (
+            self.issue_orders_reused,
+            self.issue_orders_recomputed,
+            self.issue_mask_skips,
+        )
+    }
+
     fn schedule_wb(&mut self, t: u64, rec: WbRec) {
         self.wb_events.push(t, rec);
     }
 
     fn release_write(&mut self, warp: usize, ws: WriteSet, now: u64, tracer: &mut dyn Tracer) {
         self.warps[warp].scoreboard.release(ws);
-        self.sched_warps[warp].blocked_on_longlat =
-            self.warps[warp].scoreboard.longlat_pending();
+        let longlat = self.warps[warp].scoreboard.longlat_pending();
+        self.sched_warps[warp].blocked_on_longlat = longlat;
+        // The single point where a stalled warp can become issuable again:
+        // drop its scoreboard-wait memo and refresh the blocked fingerprint.
+        let bit = 1u64 << warp;
+        self.sb_wait_mask &= !bit;
+        if longlat {
+            self.longlat_mask |= bit;
+        } else {
+            self.longlat_mask &= !bit;
+        }
         if tracer.wants(EventClass::Scoreboard) {
             tracer.emit(
                 now,
@@ -552,6 +678,8 @@ impl Sm {
                 self.warps[w].at_barrier = false;
                 self.warps[w].ibuf_ready_at = now + self.cfg.fetch_lat;
                 self.sched_warps[w].at_barrier = false;
+                self.eligible_mask |= 1u64 << w;
+                self.ibuf_at[w] = now + self.cfg.fetch_lat;
             }
         }
         self.sched_tbs[tb].warps_at_barrier = 0;
@@ -600,6 +728,11 @@ impl Sm {
             let w = base + i;
             self.warps[w].retire();
             self.sched_warps[w] = WarpState::default();
+            let bit = 1u64 << w;
+            self.cands_mask &= !bit;
+            self.eligible_mask &= !bit;
+            self.sb_wait_mask &= !bit;
+            self.longlat_mask &= !bit;
         }
         self.used_threads -= self.threads_per_tb;
         self.used_shared -= program.shared_bytes;
@@ -755,10 +888,15 @@ impl Sm {
             };
             policy.begin_cycle(&view);
         }
+        // One refcount bump per phase, not per unit: every unit issues from
+        // the same bound program.
+        let program = Arc::clone(self.program.as_ref().expect("kernel bound"));
         let mut log = std::mem::take(&mut self.store_log);
         for unit in 0..self.cfg.units {
             let mut stage = GmemStage::new(gmem_base, &mut log);
-            self.issue_unit(unit, now, &mut stage, policy, fast_phase, report, tracer);
+            self.issue_unit(
+                unit, now, &program, &mut stage, policy, fast_phase, report, tracer,
+            );
             self.stats.unit_cycles += 1;
         }
         self.store_log = log;
@@ -781,6 +919,7 @@ impl Sm {
         &mut self,
         unit: u32,
         now: u64,
+        program: &Program,
         gmem: &mut G,
         policy: &mut dyn WarpScheduler,
         fast_phase: bool,
@@ -793,33 +932,51 @@ impl Sm {
         let trace_simt = tracer.wants(EventClass::Simt);
         let trace_sb = tracer.wants(EventClass::Scoreboard);
 
-        // Candidates: live, unfinished warps of this unit.
-        self.cand_buf.clear();
-        for w in 0..self.cfg.max_warps {
-            if (w as u32) % self.cfg.units != unit {
-                continue;
-            }
-            if self.sched_warps[w].active && !self.sched_warps[w].finished {
-                self.cand_buf.push(w);
+        let u = unit as usize;
+        let unit_cands = self.cands_mask & self.unit_masks[u];
+        let unit_blocked = self.longlat_mask & self.unit_masks[u];
+        // Reuse last cycle's order verbatim when the policy reports clean
+        // and every input `order()` may read is unchanged: the candidate
+        // set always, the blocked set only for policies that declare they
+        // read it (`order_reads_longlat`). Under those conditions the
+        // `order_dirty` contract guarantees a recompute would be a no-op.
+        let reuse = self.cached_valid[u]
+            && self.cached_cands[u] == unit_cands
+            && (!policy.order_reads_longlat() || self.cached_blocked[u] == unit_blocked)
+            && !policy.order_dirty(unit);
+        let sampling = now & 63 == 0;
+        if !reuse || sampling {
+            // Candidates: live, unfinished warps of this unit, ascending —
+            // trailing_zeros iteration reproduces the old slot-order scan.
+            self.cand_buf.clear();
+            let mut m = unit_cands;
+            while m != 0 {
+                self.cand_buf.push(m.trailing_zeros() as usize);
+                m &= m - 1;
             }
         }
-        {
+        if reuse {
+            self.issue_orders_reused += 1;
+        } else {
+            self.issue_orders_recomputed += 1;
             let view = SchedView {
                 cycle: now,
                 warps: &self.sched_warps,
                 tbs: &self.sched_tbs,
                 tbs_waiting_in_tb_scheduler: fast_phase,
             };
-            // Split borrows: order_buf is disjoint from the view fields.
-            let mut order = std::mem::take(&mut self.order_buf);
+            // Split borrows: the order cache is disjoint from the view.
+            let mut order = std::mem::take(&mut self.order_bufs[u]);
             policy.order(unit, &view, &self.cand_buf, &mut order);
-            self.order_buf = order;
+            self.order_bufs[u] = order;
+            self.cached_cands[u] = unit_cands;
+            self.cached_blocked[u] = unit_blocked;
+            self.cached_valid[u] = true;
         }
 
         // Ready-warp occupancy sampling (paper §III: the size of the ready
         // pool is what lets a scheduler hide latency).
-        let program = Arc::clone(self.program.as_ref().expect("kernel bound"));
-        if now & 63 == 0 {
+        if sampling {
             let mut ready = 0u64;
             for &w in &self.cand_buf {
                 let warp = &mut self.warps[w];
@@ -839,15 +996,24 @@ impl Sm {
         let mut saw_valid = false;
         let mut saw_ready = false;
         let mut chosen: Option<(usize, Instr)> = None;
-        for i in 0..self.order_buf.len() {
-            let w = self.order_buf[i];
-            let warp = &mut self.warps[w];
-            if warp.at_barrier || warp.finished || !warp.valid {
-                continue;
+        for i in 0..self.order_bufs[u].len() {
+            let w = self.order_bufs[u][i];
+            let bit = 1u64 << w;
+            if self.eligible_mask & bit == 0 {
+                continue; // at barrier / finished / empty slot
             }
-            if now < warp.ibuf_ready_at {
+            if now < self.ibuf_at[w] {
                 continue; // instruction not yet fetched — contributes to Idle
             }
+            if self.sb_wait_mask & bit != 0 {
+                // Memoized scoreboard refusal: the warp already fetched
+                // (hence `saw_valid`) and nothing released since, so the
+                // full re-check below would reach the same verdict.
+                saw_valid = true;
+                self.issue_mask_skips += 1;
+                continue;
+            }
+            let warp = &mut self.warps[w];
             if trace_simt {
                 let depth_before = warp.simt.depth();
                 warp.simt.reconverge();
@@ -861,6 +1027,7 @@ impl Sm {
             let instr = *program.fetch(warp.pc());
             saw_valid = true;
             if !warp.scoreboard.ready(&instr) {
+                self.sb_wait_mask |= bit;
                 continue;
             }
             // Exit and barriers drain the warp's pipeline first (in-order
@@ -868,6 +1035,7 @@ impl Sm {
             if matches!(instr, Instr::Exit | Instr::Bar { .. })
                 && warp.scoreboard.any_pending()
             {
+                self.sb_wait_mask |= bit;
                 continue;
             }
             // Structural hazards.
@@ -906,8 +1074,8 @@ impl Sm {
                 tracer.emit(now, &TraceEvent::UnitStall { sm: self.id, unit, reason });
                 // Per-warp attribution: re-classify each candidate on this
                 // stalled cycle (second pass only when a tracer asked).
-                for i in 0..self.order_buf.len() {
-                    let w = self.order_buf[i];
+                for i in 0..self.order_bufs[u].len() {
+                    let w = self.order_bufs[u][i];
                     let warp = &self.warps[w];
                     let reason = if warp.at_barrier
                         || warp.finished
@@ -952,7 +1120,7 @@ impl Sm {
                 let shared = &mut self.shared[tb];
                 (warp, shared)
             };
-            warp.execute(&program, &ctx, gmem, shared, &mut lines)
+            warp.execute(program, &ctx, gmem, shared, &mut lines)
         };
         if trace_issue {
             tracer.emit(
@@ -980,6 +1148,7 @@ impl Sm {
         self.sched_warps[w].progress += active as u64;
         self.sched_tbs[tb].progress += active as u64;
         self.warps[w].ibuf_ready_at = now + self.cfg.fetch_lat;
+        self.ibuf_at[w] = now + self.cfg.fetch_lat;
 
         let ws = Scoreboard::write_set(&instr);
         let mut sb_set = false; // emits one ScoreboardSet below when true
@@ -1005,6 +1174,7 @@ impl Sm {
                 sb_set = true;
                 sb_longlat = true;
                 self.sched_warps[w].blocked_on_longlat = true;
+                self.longlat_mask |= 1u64 << w;
                 // Registration with the memory subsystem is deferred to the
                 // merge phase; `begin_load` emits no timed events, so this is
                 // timing-neutral.
@@ -1067,6 +1237,7 @@ impl Sm {
             }
             ExecEffect::Barrier => {
                 self.sched_warps[w].at_barrier = true;
+                self.eligible_mask &= !(1u64 << w); // execute() parked it
                 self.sched_tbs[tb].warps_at_barrier += 1;
                 if tracer.wants(EventClass::Barrier) {
                     tracer.emit(
@@ -1089,6 +1260,8 @@ impl Sm {
             }
             ExecEffect::Exit => {
                 self.sched_warps[w].finished = true;
+                self.cands_mask &= !(1u64 << w);
+                self.eligible_mask &= !(1u64 << w);
                 self.sched_tbs[tb].warps_finished += 1;
                 if self.first_warp_finish[tb].is_none() {
                     self.first_warp_finish[tb] = Some(now);
@@ -1238,6 +1411,13 @@ impl Sm {
         self.stats = SmStats::load(r)?;
         self.load_intents.clear();
         self.store_log.clear();
+        // Incremental issue-path state is derived, not serialized: rebuild
+        // the masks from the restored warps and drop the order caches (the
+        // scheduler policies invalidate or restore their dirty bits
+        // symmetrically, so the first post-restore cycle recomputes the
+        // same orders the donor engine held — including across
+        // `--sm-workers` migration).
+        self.rebuild_issue_masks();
         Ok(())
     }
 }

@@ -138,6 +138,44 @@ impl HostProf {
     }
 }
 
+/// Aggregated incremental-issue-path counters across SMs (DESIGN.md §15):
+/// how often a unit-cycle reused the previous cycle's scheduler order
+/// verbatim vs. recomputing it, and how many order-walk probes the warp
+/// ready-mask short-circuited.
+///
+/// Like every `host/*` metric this observes the *simulator*, not the
+/// simulated GPU: the counts are deterministic for a fixed run but sit
+/// outside the snapshot/byte-compare boundary.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IssueProf {
+    /// Unit-cycles that reused the cached order.
+    pub orders_reused: u64,
+    /// Unit-cycles that called `order()`.
+    pub orders_recomputed: u64,
+    /// Warp probes skipped by the scoreboard-wait memo.
+    pub mask_skips: u64,
+}
+
+impl IssueProf {
+    /// Fold one SM's `(reused, recomputed, skips)` triple in.
+    pub fn add(&mut self, reused: u64, recomputed: u64, skips: u64) {
+        self.orders_reused += reused;
+        self.orders_recomputed += recomputed;
+        self.mask_skips += skips;
+    }
+
+    /// Publish the summed counters under `host/issue/*`. No-op when no
+    /// unit-cycle ever ran (keeps idle runs free of the namespace).
+    pub fn publish(&self, m: &mut Metrics) {
+        if self.orders_reused + self.orders_recomputed == 0 {
+            return;
+        }
+        m.set_counter("host/issue/orders_reused", self.orders_reused);
+        m.set_counter("host/issue/orders_recomputed", self.orders_recomputed);
+        m.set_counter("host/issue/mask_skips", self.mask_skips);
+    }
+}
+
 /// Per-worker busy/idle accumulators for the `--sm-workers` threads.
 ///
 /// Workers time each job (busy) and each wait on the fan-out channel
@@ -199,6 +237,20 @@ mod tests {
         assert_eq!(m.counter("host/phase.issue.calls"), Some(1));
         assert_eq!(m.hist("host/phase.mem").unwrap().total(), 1);
         assert!(m.counter("host/phase.snapshot_write.ns").is_none());
+    }
+
+    #[test]
+    fn issue_prof_sums_and_skips_empty_runs() {
+        let mut p = IssueProf::default();
+        let mut m = Metrics::new();
+        p.publish(&mut m);
+        assert!(m.is_empty(), "no unit-cycles, no host/issue/* namespace");
+        p.add(10, 2, 7);
+        p.add(5, 1, 3);
+        p.publish(&mut m);
+        assert_eq!(m.counter("host/issue/orders_reused"), Some(15));
+        assert_eq!(m.counter("host/issue/orders_recomputed"), Some(3));
+        assert_eq!(m.counter("host/issue/mask_skips"), Some(10));
     }
 
     #[test]

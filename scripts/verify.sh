@@ -193,6 +193,33 @@ grep -q '"policies":\[' "$tracedir/shootout.json" || {
 }
 echo "ok: shootout covers all 9 policies in text and JSON"
 
+echo "== incremental issue path: reuse counters + bench smoke =="
+# The order-reuse telemetry (DESIGN.md §15): every profiled run publishes
+# host/issue/* counters, surfaced as the shootout's reuse% column and
+# JSON fields. If the reused count ever collapses to zero the incremental
+# path has silently degraded to scratch recomputes.
+grep -q '"issue_orders_reused"' "$tracedir/shootout.json" || {
+    echo "ERROR: shootout.json missing the issue_orders_reused counter" >&2
+    exit 1
+}
+grep -q 'reuse%' "$tracedir/shootout.txt" || {
+    echo "ERROR: shootout table lost the reuse% column" >&2
+    exit 1
+}
+# One-iteration smoke of the issue/ bench family: the scratch/incremental
+# replay pair must run for every policy (speedup numbers are for
+# EXPERIMENTS.md, not gated here — machines vary).
+PRO_BENCH_ITERS=1 PRO_BENCH_WARMUP=0 \
+    cargo bench -q -p pro-bench --bench sim_throughput -- issue/ \
+    > "$tracedir/bench_issue.txt"
+for policy in LRR GTO PRO; do
+    grep -q "issue/incremental_${policy}_x10k" "$tracedir/bench_issue.txt" || {
+        echo "ERROR: issue/ bench family is missing policy $policy" >&2
+        exit 1
+    }
+done
+echo "ok: reuse counters published and the issue/ bench family runs"
+
 echo "== docs: checkpoint CLI flags are documented =="
 for flag in checkpoint-path checkpoint-every checkpoint-delta checkpoint-keep \
     resume heartbeat; do
@@ -217,5 +244,18 @@ grep -q "calendar" ROADMAP.md || {
     exit 1
 }
 echo "ok: the calendar queue is documented in README, DESIGN, EXPERIMENTS, ROADMAP"
+
+echo "== docs: incremental issue path is documented =="
+for doc in README.md DESIGN.md EXPERIMENTS.md; do
+    grep -q "host/issue/" "$doc" || {
+        echo "ERROR: the host/issue/* counters are not documented in $doc" >&2
+        exit 1
+    }
+done
+grep -q "order_dirty" DESIGN.md || {
+    echo "ERROR: DESIGN.md lost the order_dirty contract section" >&2
+    exit 1
+}
+echo "ok: the incremental issue path is documented in README, DESIGN, EXPERIMENTS"
 
 echo "== verify: all green =="

@@ -169,6 +169,30 @@ fn snapshots_migrate_between_engines() {
 }
 
 #[test]
+fn dirty_order_state_round_trips_for_every_tracking_policy() {
+    // The incremental issue path (DESIGN.md §15) added serialized
+    // dirty-order masks to LRR/GTO/OWL/TL (PRO forces all-dirty on load
+    // and re-derives its rank table), plus host-side candidate bitsets,
+    // the warp ready-mask, and per-unit cached orders — all of which are
+    // *derived* state that `restore_snapshot` drops and rebuilds. A pause
+    // that lands mid-kernel, with stalled warps memoized in the ready-mask
+    // and half the units holding reusable cached orders, must still resume
+    // bit-identically: LRR and PRO are pinned by the tests above, the
+    // remaining tracking policies here.
+    for sched in [SchedulerKind::Gto, SchedulerKind::Tl, SchedulerKind::Owl] {
+        let (base, base_trace, base_mem) = straight_run(sched, 2);
+        // An odd cut point, away from TB-launch boundaries, maximizes the
+        // chance of non-trivial sb-wait/longlat masks at the snapshot.
+        let pause_at = base.cycles / 3 + 1;
+        assert!(pause_at > 0 && pause_at < base.cycles);
+        let (r, trace, mem) = split_run(sched, 2, 2, pause_at);
+        assert_same(&base, &r, &format!("{sched} dirty-state round trip"));
+        assert_eq!(base_mem, mem, "{sched}: output memory");
+        assert_eq!(base_trace, trace, "{sched}: concatenated trace bytes");
+    }
+}
+
+#[test]
 fn periodic_checkpoint_file_recovers_a_run() {
     // The sweep-recovery path: run with --checkpoint-every semantics, then
     // pretend the process died and restart from the file on disk.

@@ -14,11 +14,13 @@
 //! never touches the heap (resize and slab growth are amortized outside
 //! the per-cycle loop).
 //!
-//! The allocation counter is a wrapping `#[global_allocator]`; this file is
-//! its own test binary, so the counter sees only this test's allocations.
+//! The allocation counter is a `#[global_allocator]` wrapper with a
+//! per-thread count; this file is its own test binary and each test
+//! measures only its own thread, so neither sibling tests nor the
+//! parallel libtest harness can pollute a measured window.
 
 use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::cell::Cell;
 
 use pro_sim::isa::{Kernel, LaunchConfig, ProgramBuilder, Src};
 use pro_sim::trace::{PanicTracer, RingTracer, Tracer};
@@ -26,18 +28,26 @@ use pro_sim::{Gpu, GpuConfig, RunResult, SchedulerKind, TraceOptions};
 
 struct CountingAlloc;
 
-static ALLOCS: AtomicU64 = AtomicU64::new(0);
+thread_local! {
+    /// Per-thread allocation count. Everything a test measures runs
+    /// serially on its own thread, while the libtest harness (and any
+    /// sibling test) allocates concurrently on others — a process-global
+    /// counter would pick that noise up into measured windows. The cell
+    /// is const-initialized and `Drop`-free, so bumping it from inside
+    /// the allocator can never recurse or touch TLS destructors.
+    static ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
 
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        ALLOCS.with(|c| c.set(c.get() + 1));
         unsafe { System.alloc(layout) }
     }
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
         unsafe { System.dealloc(ptr, layout) }
     }
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        ALLOCS.with(|c| c.set(c.get() + 1));
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 }
@@ -45,21 +55,31 @@ unsafe impl GlobalAlloc for CountingAlloc {
 #[global_allocator]
 static GLOBAL: CountingAlloc = CountingAlloc;
 
-/// Allocations performed while running `f`.
+/// Allocations performed on *this thread* while running `f`.
 fn allocs_during<R>(f: impl FnOnce() -> R) -> (u64, R) {
-    let before = ALLOCS.load(Ordering::Relaxed);
+    let before = ALLOCS.with(|c| c.get());
     let r = f();
-    (ALLOCS.load(Ordering::Relaxed) - before, r)
+    (ALLOCS.with(|c| c.get()) - before, r)
 }
 
 fn kernel(gpu: &mut Gpu, tbs: u32) -> Kernel {
+    kernel_reps(gpu, tbs, 1)
+}
+
+/// One fixed load/barrier/store frame around `reps` ALU instructions:
+/// memory traffic, barrier count, and resident-warp shape are identical
+/// across rep counts — only the number of issue cycles grows. Any
+/// per-cycle allocation then shows up as a count difference.
+fn kernel_reps(gpu: &mut Gpu, tbs: u32, reps: usize) -> Kernel {
     let base = gpu.gmem.alloc(u64::from(tbs) * 64 * 4);
     let mut b = ProgramBuilder::new("overhead");
     let (g, a, v) = (b.reg(), b.reg(), b.reg());
     b.global_tid(g);
     b.buf_addr(a, 0, g, 0);
     b.ld_global(v, a, 0);
-    b.imul(v, v, Src::Reg(v));
+    for _ in 0..reps {
+        b.imul(v, v, Src::Reg(v));
+    }
     b.bar();
     b.st_global(v, a, 0);
     b.exit();
@@ -166,6 +186,39 @@ fn calendar_queue_steady_state_allocates_nothing() {
         q.pool_slots(),
         q.live_hwm()
     );
+}
+
+#[test]
+fn issue_phase_steady_state_allocates_nothing_per_cycle() {
+    // The incremental issue path (DESIGN.md §15) preallocates everything at
+    // kernel begin: per-unit order buffers, the candidate/ready bitsets,
+    // and the cached-order fingerprints are all fixed-size. Reuse hits,
+    // recomputes, and ready-mask skips must therefore stay off the heap —
+    // a kernel that runs 8x more issue cycles over the same resident-warp
+    // shape has to allocate exactly as much as the short one.
+    let mut gpu = Gpu::new(GpuConfig::small(2), 1 << 20);
+    let short = kernel_reps(&mut gpu, 8, 8);
+    let long = kernel_reps(&mut gpu, 8, 512);
+    for sched in [SchedulerKind::Lrr, SchedulerKind::Gto, SchedulerKind::Pro] {
+        // Warm-up: allocator pools, lazy statics, metric-name interning.
+        let _ = gpu.launch(&short, sched, TraceOptions::default()).unwrap();
+        let _ = gpu.launch(&long, sched, TraceOptions::default()).unwrap();
+        let (a_short, r_short) =
+            allocs_during(|| gpu.launch(&short, sched, TraceOptions::default()).unwrap());
+        let (a_long, r_long) =
+            allocs_during(|| gpu.launch(&long, sched, TraceOptions::default()).unwrap());
+        assert!(
+            r_long.cycles > 2 * r_short.cycles,
+            "{sched}: long kernel must run many more cycles ({} vs {})",
+            r_long.cycles,
+            r_short.cycles
+        );
+        assert_eq!(
+            a_short, a_long,
+            "{sched}: issue-phase allocations grew with cycle count — \
+             something in the incremental issue path touches the heap per cycle"
+        );
+    }
 }
 
 /// One full launch with the host profiler toggled.
